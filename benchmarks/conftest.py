@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark measures two things:
+
+* wall time of the simulation (pytest-benchmark's own metric), and
+* **simulated cycles** — the number the paper's claims are about —
+  attached to ``benchmark.extra_info`` and printed as a report row.
+
+Workload sizes default to values that keep the whole suite under a
+minute; the shapes (who wins, by what factor) are stable across sizes.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.machine.config import MachineConfig, CELL_LIKE
+from repro.machine.machine import Machine
+from repro.vm.interpreter import RunResult, run_program
+
+
+def simulate(
+    source: str,
+    config: MachineConfig = CELL_LIKE,
+    options: CompileOptions | None = None,
+) -> RunResult:
+    """Compile and run a source on a fresh machine; returns the result."""
+    program = compile_program(source, config, options)
+    return run_program(program, Machine(config))
+
+
+def bench_simulation(benchmark, source, config=CELL_LIKE, options=None):
+    """Run a simulation under pytest-benchmark (one round: the simulator
+    is deterministic, repeated timing adds no information) and attach
+    the simulated-cycle count."""
+    result = benchmark.pedantic(
+        simulate, args=(source, config, options), rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    return result
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print a paper-style result table (visible with pytest -s)."""
+    print(f"\n=== {title}")
+    for row in rows:
+        print("   ", " | ".join(str(cell) for cell in row))

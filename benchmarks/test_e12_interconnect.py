@@ -1,0 +1,86 @@
+"""E12 (extension) — shared-interconnect ablation.
+
+Not a paper figure.  The paper's Section 2 points at interconnect-
+centric designs (the Cell's EIB, the 48-core SCC's mesh); our default
+machine idealises DMA with a private channel per accelerator.  This
+ablation measures what a single shared channel does to multi-
+accelerator scaling: each core streams the entity population through
+the double-buffered updater, concurrently.
+
+Expected shape: near-linear scaling with private channels; bandwidth-
+bound saturation on the shared bus.
+"""
+
+import pytest
+
+from repro.game.engine import StreamedEntityUpdater
+from repro.game.worldgen import generate_world
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+
+from benchmarks.conftest import report
+
+ENTITIES_PER_CORE = 96
+
+SHARED = CELL_LIKE.with_(name="cell-shared-bus", shared_interconnect=True)
+
+
+def _parallel_streams(config, cores):
+    """Each of ``cores`` accelerators streams its own entity block;
+    returns the latest finish time (the wall clock)."""
+    machine = Machine(config)
+    worlds = [
+        generate_world(machine, ENTITIES_PER_CORE, 0, seed=100 + index)
+        for index in range(cores)
+    ]
+    finish = 0
+    for index in range(cores):
+        updater = StreamedEntityUpdater(
+            machine.accelerator(index), worlds[index], chunk_entities=16,
+            depth=2,
+        )
+        updater.run()
+        finish = max(finish, machine.accelerator(index).clock.now)
+    return machine, finish
+
+
+@pytest.mark.parametrize("cores", [1, 2, 4, 6])
+@pytest.mark.parametrize("bus", ["private", "shared"])
+def test_e12_scaling(benchmark, cores, bus):
+    config = CELL_LIKE if bus == "private" else SHARED
+    machine, finish = benchmark.pedantic(
+        _parallel_streams, args=(config, cores), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["wall_cycles"] = finish
+    contention = machine.perf.get("interconnect.contention_cycles")
+    report(
+        f"E12 {bus} bus, {cores} core(s)",
+        [("wall cycles", finish), ("contention cycles", contention)],
+    )
+
+
+def test_e12_shape_bus_bounds_scaling(benchmark):
+    _, private_1 = _parallel_streams(CELL_LIKE, 1)
+    _, private_6 = _parallel_streams(CELL_LIKE, 6)
+    _, shared_1 = _parallel_streams(SHARED, 1)
+    machine, shared_6 = benchmark.pedantic(
+        _parallel_streams, args=(SHARED, 6), rounds=1, iterations=1
+    )
+    report(
+        "E12 shape: private vs shared interconnect",
+        [
+            ("private 1 core", private_1),
+            ("private 6 cores (wall)", private_6),
+            ("shared 1 core", shared_1),
+            ("shared 6 cores (wall)", shared_6),
+            ("private slowdown 6c/1c", f"{private_6 / private_1:.2f}x"),
+            ("shared slowdown 6c/1c", f"{shared_6 / shared_1:.2f}x"),
+            ("contention cycles", machine.perf.get("interconnect.contention_cycles")),
+        ],
+    )
+    # Private channels: six independent streams take (almost) the same
+    # wall time as one.  A shared bus makes them contend.
+    assert private_6 <= private_1 * 1.1
+    assert shared_6 > private_6
+    assert machine.perf.get("interconnect.contention_cycles") > 0

@@ -1,0 +1,85 @@
+"""E2 — Figure 2: offloaded strategy calculation overlapping host
+collision detection.
+
+Paper artefact: the ``GameWorld::doFrame`` listing — AI offloaded to an
+accelerator while the host detects collisions in parallel, joined before
+entity update and rendering.
+
+Reproduced rows: whole-frame cycles for the sequential baseline and the
+offloaded version, identical outputs required.  Expected shape: the
+offloaded frame is clearly faster (the section the accelerator runs is
+both overlapped and executed on fast local data).
+"""
+
+from repro.game.sources import figure2_source
+
+from benchmarks.conftest import bench_simulation, report, simulate
+
+PARAMS = dict(entity_count=48, pair_count=32, frames=3)
+
+
+def test_e2_sequential_frame(benchmark):
+    result = bench_simulation(
+        benchmark, figure2_source(offloaded=False, **PARAMS)
+    )
+    report("E2 sequential frame loop", [("cycles", result.cycles)])
+
+
+def test_e2_offloaded_frame(benchmark):
+    result = bench_simulation(
+        benchmark, figure2_source(offloaded=True, **PARAMS)
+    )
+    report("E2 offloaded frame loop", [("cycles", result.cycles)])
+    assert result.perf()["offload.launches"] == PARAMS["frames"]
+
+
+def test_e2_crossover_sweep(benchmark):
+    """Where offloading starts to pay: below a handful of entities the
+    thread-spawn and transfer overheads exceed the win; the crossover
+    is the quantity a developer profiles for ("exploiting the full
+    performance ... can be a complex, costly process")."""
+    rows = []
+    ratios = {}
+    for entities in (2, 4, 8, 16, 32, 48):
+        pairs = max(2, entities // 2)
+        sequential = simulate(
+            figure2_source(entities, pairs, 1, offloaded=False)
+        )
+        offloaded = simulate(figure2_source(entities, pairs, 1, offloaded=True))
+        ratio = sequential.cycles / offloaded.cycles
+        ratios[entities] = ratio
+        rows.append(
+            (f"N={entities}", sequential.cycles, offloaded.cycles,
+             f"{ratio:.2f}x")
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for entities, ratio in ratios.items():
+        benchmark.extra_info[f"speedup_n{entities}"] = round(ratio, 3)
+    report("E2 crossover sweep (seq cycles | off cycles | speedup)", rows)
+    assert ratios[2] < 1.0       # overhead dominates tiny workloads
+    assert ratios[8] > 1.3       # already winning at modest sizes
+    assert ratios[48] > 2.0      # and clearly at game-like sizes
+    assert ratios[48] > ratios[8] > ratios[2]  # monotone
+
+
+def test_e2_shape_offload_wins_and_agrees(benchmark):
+    sequential = simulate(figure2_source(offloaded=False, **PARAMS))
+    offloaded = benchmark.pedantic(
+        simulate,
+        args=(figure2_source(offloaded=True, **PARAMS),),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = sequential.cycles / offloaded.cycles
+    benchmark.extra_info["frame_speedup"] = round(speedup, 3)
+    report(
+        "E2 shape: offload + overlap",
+        [
+            ("sequential cycles", sequential.cycles),
+            ("offloaded cycles", offloaded.cycles),
+            ("speedup", round(speedup, 2)),
+            ("outputs equal", offloaded.printed == sequential.printed),
+        ],
+    )
+    assert offloaded.printed == sequential.printed
+    assert speedup > 1.3

@@ -1,0 +1,165 @@
+"""E3 — Figure 3: virtual dispatch through outer/inner domains.
+
+Paper artefact: the domain-lookup structure — a linear outer-domain
+scan over known host function addresses plus an inner-domain signature
+match.
+
+Reproduced rows: per-call dispatch cost as the domain grows (the cost
+model behind the Section 4.1 restructuring), compared against a static
+call and against host-side vtable dispatch.  Includes the ablation
+DESIGN.md calls out: linear scan cost scaling (the paper's structure)
+measured across sweep sizes.
+"""
+
+import pytest
+
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.runtime.dispatch import DomainTable, InnerEntry
+
+from benchmarks.conftest import report, simulate
+
+CALLS = 32
+
+
+def _domain_of(size):
+    table = DomainTable()
+    for index in range(size):
+        table.add(
+            0x10000 + 4 * index,
+            f"C{index}::f",
+            [InnerEntry("O", f"C{index}::f$O")],
+        )
+    return table
+
+
+def _dispatch_cost(domain_size, target_index):
+    """Average cycles for one lookup of the given entry."""
+    machine = Machine(CELL_LIKE)
+    core = machine.accelerator(0)
+    table = _domain_of(domain_size)
+    now = 0
+    for _ in range(CALLS):
+        _, now = table.lookup(core, 0x10000 + 4 * target_index, "O", now)
+    return now / CALLS
+
+
+@pytest.mark.parametrize("size", [1, 4, 16, 64, 104])
+def test_e3_lookup_cost_sweep(benchmark, size):
+    cost = benchmark.pedantic(
+        _dispatch_cost, args=(size, size - 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["domain_size"] = size
+    benchmark.extra_info["cycles_per_dispatch"] = cost
+    report(
+        f"E3 domain lookup (worst case, size {size})",
+        [("cycles/dispatch", cost)],
+    )
+
+
+def test_e3_shape_cost_scales_linearly(benchmark):
+    small = _dispatch_cost(4, 3)
+    large = benchmark.pedantic(
+        _dispatch_cost, args=(104, 103), rounds=1, iterations=1
+    )
+    report(
+        "E3 shape: linear outer-domain scan",
+        [
+            ("size 4 worst-case", small),
+            ("size 104 worst-case", large),
+            ("ratio", round(large / small, 1)),
+        ],
+    )
+    # 104 entries vs 4 entries: cost ratio tracks the scan length.
+    assert large / small > 10
+
+
+STATIC_VS_DYNAMIC = """
+class Actor {{
+    int state;
+    virtual void act() {{ state = state + 1; }}
+}};
+Actor g_actors[16];
+Actor* g_ptrs[16];
+void setup() {{
+    for (int i = 0; i < 16; i++) {{ g_ptrs[i] = &g_actors[i]; }}
+}}
+void main() {{
+    setup();
+    __offload [domain(Actor::act), cache(setassoc)] {{
+        Array<Actor*, 16> actors(g_ptrs);
+        for (int rep = 0; rep < 8; rep++) {{
+            for (int i = 0; i < 16; i++) {{
+                {call}
+            }}
+        }}
+    }};
+    print_int(g_actors[0].state);
+}}
+"""
+
+
+def test_e3_dynamic_vs_static_call(benchmark):
+    """The uniform abstraction costs: virtual dispatch through the
+    domain versus a direct (statically bound) call on the same data."""
+    dynamic_src = STATIC_VS_DYNAMIC.format(
+        call="Actor* p = actors[i]; p->act();"
+    )
+    static_src = STATIC_VS_DYNAMIC.format(
+        call="Actor* p = actors[i]; p->state = p->state + 1;"
+    )
+    dynamic = simulate(dynamic_src)
+    static = benchmark.pedantic(
+        simulate, args=(static_src,), rounds=1, iterations=1
+    )
+    overhead = dynamic.cycles / static.cycles
+    benchmark.extra_info["dispatch_overhead_factor"] = round(overhead, 3)
+    report(
+        "E3 dynamic vs static (accelerator)",
+        [
+            ("domain dispatch cycles", dynamic.cycles),
+            ("direct field update cycles", static.cycles),
+            ("overhead factor", round(overhead, 2)),
+            ("vcalls", dynamic.perf().get("dispatch.vcalls", 0)),
+        ],
+    )
+    assert dynamic.printed == static.printed
+    assert dynamic.cycles > static.cycles
+
+
+FUNCPTR_WORKLOAD = """
+int bump(int x) { return x + 1; }
+int (*g_op)(int);
+int g_data[16];
+void main() {
+    g_op = &bump;
+    int total = 0;
+    __offload [domain(bump), cache(setassoc)] {
+        for (int rep = 0; rep < 8; rep++) {
+            for (int i = 0; i < 16; i++) {
+                total = g_op(total);
+            }
+        }
+    };
+    print_int(total);
+}
+"""
+
+
+def test_e3_function_pointer_dispatch(benchmark):
+    """The other dynamic-dispatch flavour the paper names: calls 'via
+    function pointer', which also route through the domain."""
+    result = benchmark.pedantic(
+        simulate, args=(FUNCPTR_WORKLOAD,), rounds=1, iterations=1
+    )
+    perf = result.perf()
+    report(
+        "E3 function-pointer dispatch (accelerator)",
+        [
+            ("cycles", result.cycles),
+            ("domain lookups", perf.get("dispatch.domain_lookups", 0)),
+            ("result", result.printed[0]),
+        ],
+    )
+    assert result.printed == [128]
+    assert perf["dispatch.domain_lookups"] == 128

@@ -1,0 +1,91 @@
+"""E5 — Section 4.1: offloading a AAA game's AI.
+
+Paper numbers: one developer, two months, ~200 additional lines of
+code, ~50% performance increase; virtual decision checks are part of
+the AI; a software cache (chosen by profiling) carries the offload.
+
+Reproduced rows: AI-section cycles host vs offloaded, the source-line
+delta between the two versions, and the cache-choice sensitivity (raw
+DMA loses to the host; a suitable cache wins).
+"""
+
+from repro.analysis.metrics import source_delta
+from repro.game.sources import ai_kernel_source
+
+from benchmarks.conftest import report, simulate
+
+ENTITIES = 64
+
+
+def test_e5_host_ai(benchmark):
+    result = benchmark.pedantic(
+        simulate,
+        args=(ai_kernel_source(ENTITIES, offloaded=False),),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    report("E5 host AI", [("cycles", result.cycles)])
+
+
+def test_e5_offloaded_ai(benchmark):
+    result = benchmark.pedantic(
+        simulate,
+        args=(ai_kernel_source(ENTITIES, offloaded=True, cache="setassoc"),),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    report("E5 offloaded AI (setassoc cache)", [("cycles", result.cycles)])
+
+
+def test_e5_shape_speedup_and_effort(benchmark):
+    host = simulate(ai_kernel_source(ENTITIES, offloaded=False))
+    offloaded = benchmark.pedantic(
+        simulate,
+        args=(ai_kernel_source(ENTITIES, offloaded=True, cache="setassoc"),),
+        rounds=1,
+        iterations=1,
+    )
+    delta = source_delta(
+        ai_kernel_source(ENTITIES, offloaded=False),
+        ai_kernel_source(ENTITIES, offloaded=True),
+    )
+    speedup = host.cycles / offloaded.cycles
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["added_lines"] = delta.added_lines
+    report(
+        "E5 shape: AI offload",
+        [
+            ("host cycles", host.cycles),
+            ("offloaded cycles", offloaded.cycles),
+            ("speedup", round(speedup, 2)),
+            ("paper speedup", "~1.5x (50% increase)"),
+            ("added source lines", delta.added_lines),
+            ("paper added lines", "~200 (AAA-scale codebase)"),
+            ("outputs equal", host.printed == offloaded.printed),
+        ],
+    )
+    assert host.printed == offloaded.printed
+    assert speedup >= 1.5
+
+
+def test_e5_cache_choice_sensitivity(benchmark):
+    """Which software cache (if any) decides whether the offload pays
+    off at all — the paper's per-offload profiling decision."""
+    host = simulate(ai_kernel_source(ENTITIES, offloaded=False))
+    rows = [("host", host.cycles, "1.00x")]
+    raw = simulate(ai_kernel_source(ENTITIES, offloaded=True, cache=None))
+    rows.append(("offload raw DMA", raw.cycles, f"{host.cycles / raw.cycles:.2f}x"))
+    cached = benchmark.pedantic(
+        simulate,
+        args=(ai_kernel_source(ENTITIES, offloaded=True, cache="setassoc"),),
+        rounds=1,
+        iterations=1,
+    )
+    rows.append(
+        ("offload setassoc", cached.cycles, f"{host.cycles / cached.cycles:.2f}x")
+    )
+    report("E5 cache-choice sensitivity (speedup vs host)", rows)
+    assert raw.cycles > host.cycles  # uncached offload is a pessimisation
+    assert cached.cycles < host.cycles

@@ -1,0 +1,91 @@
+"""E6 — Section 4.2: the ``current->move()`` loop under each
+data-locality strategy.
+
+Paper artefact: the loop over an array of GameObject pointers where both
+the pointer array and the objects live in outer memory — each iteration
+pays two dependent high-latency transfers; the ``Array`` accessor
+removes the per-iteration pointer-array transfer with one bulk get; the
+software cache absorbs the repeated object/vtable traffic.
+
+Reproduced rows: cycles per object for naive / +cache / +accessor /
+accessor+cache, plus the paper's expected ordering.
+"""
+
+import pytest
+
+from repro.game.sources import move_loop_source
+
+from benchmarks.conftest import report, simulate
+
+OBJECTS = 48
+
+VARIANTS = {
+    "naive (outer pointer chase)": dict(use_accessor=False, cache=None),
+    "software cache": dict(use_accessor=False, cache="direct"),
+    "Array accessor": dict(use_accessor=True, cache=None),
+    "accessor + cache": dict(use_accessor=True, cache="direct"),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_e6_variant(benchmark, variant):
+    result = benchmark.pedantic(
+        simulate,
+        args=(move_loop_source(OBJECTS, **VARIANTS[variant]),),
+        rounds=1,
+        iterations=1,
+    )
+    cycles_per_object = result.cycles / OBJECTS
+    benchmark.extra_info["cycles_per_object"] = round(cycles_per_object, 1)
+    report(
+        f"E6 {variant}",
+        [
+            ("cycles", result.cycles),
+            ("cycles/object", round(cycles_per_object, 1)),
+            ("outer loads", result.perf().get("outer.loads", 0)),
+        ],
+    )
+
+
+def test_e6_shape_ordering(benchmark):
+    cycles = {}
+    for name, kwargs in VARIANTS.items():
+        cycles[name] = simulate(move_loop_source(OBJECTS, **kwargs)).cycles
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, value in cycles.items():
+        benchmark.extra_info[name] = value
+    report(
+        "E6 shape: locality strategy ordering",
+        sorted(cycles.items(), key=lambda kv: -kv[1]),
+    )
+    naive = cycles["naive (outer pointer chase)"]
+    assert cycles["Array accessor"] < naive          # one transfer removed
+    assert cycles["software cache"] < naive          # repeats absorbed
+    assert cycles["accessor + cache"] < cycles["software cache"]
+    assert cycles["accessor + cache"] < naive / 2
+
+
+def test_e6_accessor_transfer_accounting(benchmark):
+    """The accessor converts N outer pointer loads into one bulk get."""
+    naive = simulate(
+        move_loop_source(OBJECTS, use_accessor=False, cache=None)
+    )
+    accessor = benchmark.pedantic(
+        simulate,
+        args=(move_loop_source(OBJECTS, use_accessor=True, cache=None),),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "E6 transfer accounting",
+        [
+            ("naive outer loads", naive.perf()["outer.loads"]),
+            ("accessor outer loads", accessor.perf()["outer.loads"]),
+            ("accessor bulk gets", accessor.perf()["accessor.bulk_gets"]),
+        ],
+    )
+    assert accessor.perf()["accessor.bulk_gets"] == 1
+    assert (
+        naive.perf()["outer.loads"] - accessor.perf()["outer.loads"]
+        >= OBJECTS
+    )

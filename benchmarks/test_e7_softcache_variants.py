@@ -1,0 +1,150 @@
+"""E7 — Section 4.2: "several software caches, favouring different
+types of application behaviour".
+
+Paper artefact: the claim that Codeplay ship multiple cache
+implementations and that choosing between them is a profiling decision.
+
+Reproduced rows: hit rate and cycles for each cache organisation across
+access patterns (sequential, random, strided revisit, conflict
+ping-pong), plus a compiled-workload comparison where a direct-mapped
+cache thrashes and associativity rescues it.  Includes the DESIGN.md
+ablation sweep over line size.
+"""
+
+import random
+
+import pytest
+
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.runtime.softcache import make_cache
+
+from benchmarks.conftest import report, simulate
+
+KINDS = ["direct", "setassoc", "victim"]
+ACCESSES = 600
+
+
+def _pattern(name, span, rng):
+    if name == "sequential":
+        return [(i * 4) % span for i in range(ACCESSES)]
+    if name == "random":
+        return [rng.randrange(0, span, 4) for _ in range(ACCESSES)]
+    if name == "strided-revisit":
+        stride = 256
+        window = [i * stride % span for i in range(8)]
+        return [window[i % 8] for i in range(ACCESSES)]
+    if name == "conflict-pingpong":
+        # Two addresses exactly one direct-mapped span apart.
+        return [0 if i % 2 == 0 else 128 * 16 for i in range(ACCESSES)]
+    raise ValueError(name)
+
+
+def _run_pattern(kind, pattern_name):
+    machine = Machine(CELL_LIKE)
+    acc = machine.accelerator(0)
+    cache = make_cache(kind, acc, 0x10000, line_size=128, num_lines=16)
+    rng = random.Random(7)
+    addresses = _pattern(pattern_name, 16 * 1024, rng)
+    now = 0
+    for address in addresses:
+        _, now = cache.load(address, 4, now)
+    return now, cache.hit_rate()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize(
+    "pattern", ["sequential", "random", "strided-revisit", "conflict-pingpong"]
+)
+def test_e7_cache_pattern_matrix(benchmark, kind, pattern):
+    cycles, hit_rate = benchmark.pedantic(
+        _run_pattern, args=(kind, pattern), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["hit_rate"] = round(hit_rate, 3)
+    report(
+        f"E7 {kind} / {pattern}",
+        [("cycles", cycles), ("hit rate", round(hit_rate, 3))],
+    )
+
+
+def test_e7_shape_no_single_winner(benchmark):
+    """Direct-mapped loses badly on conflict ping-pong but matches the
+    others on sequential scans — hence 'the programmer must decide,
+    based on profiling'."""
+    rows = []
+    results = {}
+    for kind in KINDS:
+        pingpong, _ = _run_pattern(kind, "conflict-pingpong")
+        sequential, _ = _run_pattern(kind, "sequential")
+        results[kind] = (pingpong, sequential)
+        rows.append((kind, f"pingpong {pingpong}", f"sequential {sequential}"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report("E7 shape: behaviour-dependent winners", rows)
+    assert results["direct"][0] > 2 * results["setassoc"][0]
+    assert results["direct"][0] > 2 * results["victim"][0]
+    direct_seq = results["direct"][1]
+    assert all(abs(results[k][1] - direct_seq) < direct_seq * 0.2 for k in KINDS)
+
+
+CONFLICT_WORKLOAD = """
+int g_big[4096];
+void main() {{
+    int sum = 0;
+    __offload [cache({kind})] {{
+        for (int rep = 0; rep < 20; rep++) {{
+            sum += g_big[0];
+            sum += g_big[2048];   // 8 KiB apart: same direct-mapped slot
+        }}
+    }};
+    print_int(sum);
+}}
+"""
+
+
+def test_e7_compiled_conflict_workload(benchmark):
+    """The same effect through the compiler: alternating accesses one
+    cache-span apart thrash the direct-mapped cache."""
+    direct = simulate(CONFLICT_WORKLOAD.format(kind="direct"))
+    victim = benchmark.pedantic(
+        simulate,
+        args=(CONFLICT_WORKLOAD.format(kind="victim"),),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "E7 compiled conflict workload",
+        [
+            ("direct cycles", direct.cycles),
+            ("victim cycles", victim.cycles),
+            ("direct misses", direct.perf()["softcache.misses"]),
+            ("victim misses", victim.perf()["softcache.misses"]),
+        ],
+    )
+    assert direct.printed == victim.printed
+    assert direct.perf()["softcache.misses"] > 5 * victim.perf()["softcache.misses"]
+    assert direct.cycles > victim.cycles
+
+
+@pytest.mark.parametrize("line_size", [32, 64, 128, 256])
+def test_e7_ablation_line_size(benchmark, line_size):
+    """DESIGN.md ablation: line-size sweep on a sequential scan."""
+
+    def run():
+        machine = Machine(CELL_LIKE)
+        cache = make_cache(
+            "direct",
+            machine.accelerator(0),
+            0x10000,
+            line_size=line_size,
+            num_lines=2048 // (line_size // 32),
+        )
+        now = 0
+        for index in range(ACCESSES):
+            _, now = cache.load((index * 4) % 8192, 4, now)
+        return now
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["line_size"] = line_size
+    benchmark.extra_info["cycles"] = cycles
+    report(f"E7 ablation line_size={line_size}", [("cycles", cycles)])

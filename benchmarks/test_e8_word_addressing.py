@@ -1,0 +1,112 @@
+"""E8 — Section 5: indexed (word) addressing.
+
+Paper artefact: the hybrid ``__word``/``__byte`` scheme — word
+addressing by default, static errors for inefficient byte arithmetic,
+cheap constant-offset extracts for struct byte fields — versus the
+rejected alternative of keeping all pointers byte-addressed and
+converting on every dereference.
+
+Reproduced rows: cycles for the byte-field workload under (a) the
+hybrid scheme, (b) all-byte-pointer emulation, (c) the same source on a
+byte-addressed machine (no scheme needed), plus the legality matrix of
+the paper's examples.
+"""
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.errors import CompileError
+from repro.game.sources import word_illegal_sources, word_struct_source
+from repro.machine.config import CELL_LIKE, DSP_WORD
+from repro.machine.machine import Machine
+from repro.vm.interpreter import run_program
+
+from benchmarks.conftest import report
+
+PACKETS = 64
+
+
+def _run(config, options=None):
+    program = compile_program(word_struct_source(PACKETS), config, options)
+    return run_program(program, Machine(config))
+
+
+def test_e8_hybrid_scheme(benchmark):
+    result = benchmark.pedantic(_run, args=(DSP_WORD,), rounds=1, iterations=1)
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["extracts"] = result.perf().get("word.extracts", 0)
+    report(
+        "E8 hybrid word addressing",
+        [
+            ("cycles", result.cycles),
+            ("const extracts", result.perf().get("word.extracts", 0)),
+        ],
+    )
+
+
+def test_e8_byte_emulation_baseline(benchmark):
+    result = benchmark.pedantic(
+        _run,
+        args=(DSP_WORD, CompileOptions(wordaddr_mode="emulate")),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    report("E8 all-byte-pointer emulation", [("cycles", result.cycles)])
+
+
+def test_e8_byte_addressed_machine(benchmark):
+    result = benchmark.pedantic(
+        _run, args=(CELL_LIKE,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    report("E8 byte-addressed machine (reference)", [("cycles", result.cycles)])
+
+
+def test_e8_shape_hybrid_beats_emulation(benchmark):
+    hybrid = _run(DSP_WORD)
+    emulated = benchmark.pedantic(
+        _run,
+        args=(DSP_WORD, CompileOptions(wordaddr_mode="emulate")),
+        rounds=1,
+        iterations=1,
+    )
+    overhead = emulated.cycles / hybrid.cycles
+    benchmark.extra_info["emulation_overhead"] = round(overhead, 3)
+    report(
+        "E8 shape: hybrid vs emulation",
+        [
+            ("hybrid cycles", hybrid.cycles),
+            ("emulated cycles", emulated.cycles),
+            ("emulation overhead", f"{overhead:.2f}x"),
+            ("outputs equal", hybrid.printed == emulated.printed),
+        ],
+    )
+    assert hybrid.printed == emulated.printed
+    assert overhead > 1.2
+
+
+def test_e8_legality_matrix(benchmark):
+    """The paper's Section 5 examples behave as specified."""
+    sources = word_illegal_sources()
+    rows = []
+
+    def outcome(name):
+        try:
+            compile_program(sources[name], DSP_WORD)
+            return "accepted"
+        except CompileError as error:
+            return error.diagnostics[0].code
+
+    results = benchmark.pedantic(
+        lambda: {name: outcome(name) for name in sources},
+        rounds=1,
+        iterations=1,
+    )
+    for name, status in results.items():
+        rows.append((name, status))
+    report("E8 legality matrix (word-addressed target)", rows)
+    assert results["legal_word_step"] == "accepted"
+    assert results["illegal_byte_into_word"] == "E-word-assign"
+    assert results["legal_byte_qualified"] == "accepted"
+    assert results["illegal_variable_byte_arith"] == "E-word-arith"

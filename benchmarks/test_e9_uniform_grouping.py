@@ -1,0 +1,88 @@
+"""E9 — Section 4.1: uniform-type grouping enables prefetch and
+double-buffered transfers.
+
+Paper artefact: "the uniform abstraction of a virtual call such as
+move() hides the specific type, and hence size, of the object...
+Consequently, the object data cannot be prefetched into fast local
+store...  processing objects in groups of uniform type permits
+prefetching and double buffered transfers, for further performance
+increases."
+
+Reproduced rows: cycles to update an entity population (a) one object
+at a time (size unknown until the pointer is chased — a round-trip DMA
+each), (b) grouped and streamed with buffer depths 1, 2 and 4 (the
+DESIGN.md double-buffer-depth ablation).
+"""
+
+import pytest
+
+from repro.game.engine import PerObjectUpdater, StreamedEntityUpdater
+from repro.game.worldgen import generate_world
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+
+from benchmarks.conftest import report
+
+ENTITIES = 128
+
+
+def _world():
+    machine = Machine(CELL_LIKE)
+    world = generate_world(machine, ENTITIES, 0, seed=2011)
+    return machine, world
+
+
+def _streamed(depth):
+    machine, world = _world()
+    return StreamedEntityUpdater(
+        machine.accelerator(0), world, chunk_entities=16, depth=depth
+    ).run()
+
+
+def test_e9_per_object_baseline(benchmark):
+    def run():
+        machine, world = _world()
+        return PerObjectUpdater(machine.accelerator(0), world).run()
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_per_entity"] = cycles / ENTITIES
+    report(
+        "E9 per-object round trips (mixed-type model)",
+        [("cycles", cycles), ("cycles/entity", round(cycles / ENTITIES, 1))],
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_e9_streamed_depth(benchmark, depth):
+    cycles = benchmark.pedantic(_streamed, args=(depth,), rounds=1, iterations=1)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["cycles_per_entity"] = cycles / ENTITIES
+    report(
+        f"E9 grouped streaming, depth={depth}",
+        [("cycles", cycles), ("cycles/entity", round(cycles / ENTITIES, 1))],
+    )
+
+
+def test_e9_shape_grouping_and_buffering_win(benchmark):
+    def per_object():
+        machine, world = _world()
+        return PerObjectUpdater(machine.accelerator(0), world).run()
+
+    baseline = benchmark.pedantic(per_object, rounds=1, iterations=1)
+    single = _streamed(1)
+    double = _streamed(2)
+    quad = _streamed(4)
+    report(
+        "E9 shape: grouping + double buffering",
+        [
+            ("per-object", baseline),
+            ("grouped depth=1", single),
+            ("grouped depth=2", double),
+            ("grouped depth=4", quad),
+            ("grouping speedup", f"{baseline / single:.2f}x"),
+            ("double-buffer speedup", f"{single / double:.2f}x"),
+        ],
+    )
+    assert single < baseline / 2      # bulk transfers beat round trips
+    assert double < single            # overlap hides transfer latency
+    assert quad <= double * 1.05      # diminishing returns beyond 2

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Figure 1: explicit DMA for data movement in games code.
+
+Shows the paper's listing in two forms:
+
+1. hand-written against the machine API (what a PlayStation 3
+   programmer writes with intrinsics), demonstrating why the idiom
+   issues both gets under one tag before a single wait;
+2. the same listing compiled from OffloadMini, with the dynamic DMA
+   race checker attached — and a broken variant it catches.
+
+Run:  python examples/figure1_dma_collisions.py
+"""
+
+from repro.compiler.driver import compile_program
+from repro.errors import DmaRaceError
+from repro.game.engine import ManualCollisionEngine
+from repro.game.sources import figure1_racy_source, figure1_source
+from repro.game.worldgen import generate_world
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.vm.interpreter import run_program
+
+
+def manual_engine_demo() -> None:
+    print("== manual intrinsics (Figure 1 idiom vs fenced gets)")
+    for parallel in (True, False):
+        machine = Machine(CELL_LIKE)
+        world = generate_world(machine, entity_count=64, pair_count=32)
+        engine = ManualCollisionEngine(machine.accelerator(0), world)
+        stats = engine.process_pairs(parallel=parallel)
+        label = "one tag, one wait " if parallel else "fenced every get  "
+        print(f"   {label}: {stats.cycles_per_pair:8.1f} cycles/pair")
+
+
+def compiled_demo() -> None:
+    print("== the same listing compiled from OffloadMini")
+    program = compile_program(figure1_source(64, 32), CELL_LIKE)
+    result = run_program(program, Machine(CELL_LIKE))
+    print(f"   entity 0 collision state: {result.printed[0]}")
+    print(f"   total simulated cycles:   {result.cycles}")
+    print(f"   races detected:           {len(result.races)}")
+
+
+def race_demo() -> None:
+    print("== a broken variant (missing dma_wait before re-fetch)")
+    program = compile_program(figure1_racy_source(), CELL_LIKE)
+    try:
+        run_program(program, Machine(CELL_LIKE))
+        print("   (no race?!)")
+    except DmaRaceError as error:
+        print(f"   race checker fired: {str(error)[:100]}...")
+
+
+def main() -> None:
+    manual_engine_demo()
+    compiled_demo()
+    race_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run an OffloadMini program on two targets.
+
+The program offloads a reduction to an accelerator core.  On the
+Cell-like machine the ``Array`` accessor stages the data into the
+accelerator's local store with one DMA; on the shared-memory machine
+the same source compiles to direct accesses — identical results,
+different machine mechanisms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler.driver import compile_program
+from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.vm.interpreter import run_program
+
+SOURCE = """
+int g_values[32];
+
+void main() {
+    for (int i = 0; i < 32; i++) { g_values[i] = i * i; }
+
+    int total = 0;
+    __offload_handle_t h = __offload {
+        // Data declared here lives in the accelerator's local store;
+        // g_values is staged in with one bulk transfer.
+        Array<int, 32> values(g_values);
+        for (int i = 0; i < 32; i++) { total += values[i]; }
+    };
+    __offload_join(h);
+
+    print_int(total);
+}
+"""
+
+
+def main() -> None:
+    for config in (CELL_LIKE, SMP_UNIFORM):
+        program = compile_program(SOURCE, config)
+        machine = Machine(config)
+        result = run_program(program, machine)
+        perf = result.perf()
+        print(f"--- target: {config.name}")
+        print(f"    printed:          {result.printed}")
+        print(f"    simulated cycles: {result.cycles}")
+        print(f"    DMA transfers:    {perf.get('dma.gets', 0)}")
+        print(f"    accel functions:  {len(program.accel_functions())}")
+    print()
+    print("Same source, same answer; the data movement is compiled in")
+    print("only where the architecture needs it.")
+
+
+if __name__ == "__main__":
+    main()

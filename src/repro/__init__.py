@@ -1,0 +1,55 @@
+"""repro — an Offload C++ reproduction in Python.
+
+A compiler and runtime for *OffloadMini*, a C++-like language with
+offload blocks, memory-space-qualified pointers, domain-based virtual
+dispatch and word-addressing attributes, executing on a deterministic
+simulated heterogeneous machine.  Reproduces the systems described in
+Codeplay's MSPC/PLDI 2011 paper "The Impact of Diverse Memory
+Architectures on Multicore Consumer Software".
+
+Quickstart::
+
+    from repro import CELL_LIKE, Machine, compile_program, run_program
+
+    program = compile_program(source_text, CELL_LIKE)
+    result = run_program(program, Machine(CELL_LIKE))
+    print(result.printed, result.cycles)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CompileError,
+    Diagnostic,
+    DmaRaceError,
+    MachineError,
+    MissingDuplicateError,
+    ReproError,
+    RuntimeTrap,
+    TypeCheckError,
+)
+from repro.machine import CELL_LIKE, DSP_WORD, SMP_UNIFORM, Machine, MachineConfig
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.vm.interpreter import RunOptions, RunResult, run_program
+
+__all__ = [
+    "CELL_LIKE",
+    "CompileError",
+    "CompileOptions",
+    "DSP_WORD",
+    "Diagnostic",
+    "DmaRaceError",
+    "Machine",
+    "MachineConfig",
+    "MachineError",
+    "MissingDuplicateError",
+    "ReproError",
+    "RunOptions",
+    "RunResult",
+    "RuntimeTrap",
+    "SMP_UNIFORM",
+    "TypeCheckError",
+    "__version__",
+    "compile_program",
+    "run_program",
+]

@@ -1,0 +1,30 @@
+"""Developer-facing analyses.
+
+* :mod:`repro.analysis.annotations` — computes which virtual methods an
+  offload block *would need* in its ``domain(...)`` annotation, the
+  quantity whose explosion drove the Section 4.1 restructuring.
+* :mod:`repro.analysis.static_races` — a static DMA race analysis over
+  the IR (the Scratch/TACAS-2010 idea, simplified to per-block abstract
+  interpretation of transfer intervals).
+* :mod:`repro.analysis.metrics` — source-effort metrics (lines of code,
+  source deltas) used to reproduce the paper's "~200 additional lines"
+  style of claim.
+"""
+
+from repro.analysis.annotations import (
+    AnnotationReport,
+    annotation_requirements,
+    report_for_program,
+)
+from repro.analysis.metrics import count_loc, source_delta
+from repro.analysis.static_races import StaticRaceFinding, find_static_races
+
+__all__ = [
+    "AnnotationReport",
+    "StaticRaceFinding",
+    "annotation_requirements",
+    "count_loc",
+    "find_static_races",
+    "report_for_program",
+    "source_delta",
+]

@@ -1,0 +1,247 @@
+"""Annotation-requirement analysis (the Section 4.1 effort metric).
+
+When a portion of code is offloaded, every virtual method that *might*
+be invoked inside it must be listed in the offload's ``domain(...)``
+annotation.  This analysis computes that set: it walks the offload body
+and everything statically reachable from it; for each virtual call site
+``p->m()`` with static receiver type ``C``, every implementation of
+``m`` in ``C`` or any of its subclasses is required (any of them could
+be the dynamic target).
+
+The paper's case study: a component system dispatched ~1300 virtual
+calls per frame; offloading it monolithically required >100 annotations,
+and restructuring into 13 type-specialised offloads brought the maximum
+per offload down to ~40.  The E4 benchmark uses this module to measure
+exactly those quantities on our game substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.sema import SemanticInfo
+from repro.lang.types import ClassType, MethodInfo
+
+
+@dataclass
+class AnnotationReport:
+    """Required annotations for one offload block."""
+
+    offload_id: int
+    required: list[str] = field(default_factory=list)
+    declared: list[str] = field(default_factory=list)
+    virtual_call_sites: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.required)
+
+    @property
+    def missing(self) -> list[str]:
+        declared = set(self.declared)
+        return [name for name in self.required if name not in declared]
+
+
+def _subclass_implementations(
+    info: SemanticInfo, base: ClassType, method_name: str
+) -> list[MethodInfo]:
+    """Every implementation of ``method_name`` callable through a
+    ``base*`` receiver: the one ``base`` sees, plus every override in
+    the subtree below ``base``."""
+    implementations: list[MethodInfo] = []
+    seen: set[str] = set()
+    root = base.find_method(method_name)
+    if root is not None:
+        implementations.append(root)
+        seen.add(root.qualified_name)
+    for class_type in info.classes.values():
+        if not class_type.is_subclass_of(base) or class_type is base:
+            continue
+        method = class_type.methods.get(method_name)
+        if method is not None and method.qualified_name not in seen:
+            implementations.append(method)
+            seen.add(method.qualified_name)
+    return implementations
+
+
+class _Walker:
+    """Collects virtual/indirect call sites in a statement tree, the set
+    of statically called functions (for transitive traversal), and
+    address-taken free functions."""
+
+    def __init__(self) -> None:
+        self.virtual_sites: list[ast.CallExpr] = []
+        self.indirect_sites: list[ast.CallExpr] = []
+        self.static_callees: list[ast.FuncDecl] = []
+        self.taken_functions: list[ast.FuncDecl] = []
+
+    # -- statements
+
+    def walk_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.BlockStmt):
+            for inner in stmt.statements:
+                self.walk_stmt(inner)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            if stmt.init is not None:
+                self.walk_expr(stmt.init)
+        elif isinstance(stmt, ast.AssignStmt):
+            self.walk_expr(stmt.target)
+            self.walk_expr(stmt.value)
+        elif isinstance(stmt, ast.IncDecStmt):
+            self.walk_expr(stmt.target)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.walk_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.walk_expr(stmt.condition)
+            self.walk_stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self.walk_stmt(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.walk_expr(stmt.condition)
+            self.walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self.walk_stmt(stmt.init)
+            if stmt.condition is not None:
+                self.walk_expr(stmt.condition)
+            if stmt.step is not None:
+                self.walk_stmt(stmt.step)
+            self.walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.walk_expr(stmt.value)
+        elif isinstance(stmt, ast.JoinStmt):
+            self.walk_expr(stmt.handle)
+        # break/continue: nothing to do
+
+    # -- expressions
+
+    def walk_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.UnaryExpr):
+            target = getattr(expr, "func_target", None)
+            if isinstance(target, ast.FuncDecl):
+                self.taken_functions.append(target)
+                return
+            self.walk_expr(expr.operand)
+        elif isinstance(expr, ast.BinaryExpr):
+            self.walk_expr(expr.lhs)
+            self.walk_expr(expr.rhs)
+        elif isinstance(expr, ast.IndexExpr):
+            self.walk_expr(expr.base)
+            self.walk_expr(expr.index)
+        elif isinstance(expr, ast.MemberExpr):
+            self.walk_expr(expr.base)
+        elif isinstance(expr, ast.CastExpr):
+            self.walk_expr(expr.operand)
+        elif isinstance(expr, ast.CallExpr):
+            if isinstance(expr.callee, ast.MemberExpr):
+                self.walk_expr(expr.callee.base)
+            for arg in expr.args:
+                self.walk_expr(arg)
+            if expr.is_virtual:
+                self.virtual_sites.append(expr)
+            elif expr.target == "indirect":
+                self.indirect_sites.append(expr)
+            elif isinstance(expr.target, ast.FuncDecl):
+                self.static_callees.append(expr.target)
+            elif isinstance(expr.target, MethodInfo):
+                decl = expr.target.decl
+                if isinstance(decl, ast.FuncDecl):
+                    self.static_callees.append(decl)
+        elif isinstance(expr, ast.OffloadExpr):
+            # Nested offloads are rejected by sema; nothing to walk.
+            pass
+
+
+def _owner_of(expr: ast.CallExpr) -> ClassType | None:
+    callee = expr.callee
+    if isinstance(callee, ast.MemberExpr):
+        base_type = callee.base.type
+        from repro.lang.types import PointerType
+
+        if isinstance(base_type, PointerType) and isinstance(
+            base_type.pointee, ClassType
+        ):
+            return base_type.pointee
+        if isinstance(base_type, ClassType):
+            return base_type
+    return None
+
+
+def _program_taken_functions(info: SemanticInfo) -> list[ast.FuncDecl]:
+    """Every free function whose address is taken anywhere in the
+    program — any of them may be the target of an indirect call."""
+    taken: list[ast.FuncDecl] = []
+    seen: set[str] = set()
+    for decl in info.functions.values():
+        if decl.body is None:
+            continue
+        walker = _Walker()
+        walker.walk_stmt(decl.body)
+        for func in walker.taken_functions:
+            if func.qualified_name not in seen:
+                seen.add(func.qualified_name)
+                taken.append(func)
+    return taken
+
+
+def annotation_requirements(
+    info: SemanticInfo, offload: ast.OffloadExpr
+) -> AnnotationReport:
+    """Compute the dynamic-dispatch annotation set one offload needs:
+    virtual method implementations plus, for calls through function
+    pointers, every address-taken function of a matching signature."""
+    walker = _Walker()
+    walker.walk_stmt(offload.body)
+    # Transitively include functions statically reachable from the block.
+    visited: set[str] = set()
+    queue = list(walker.static_callees)
+    while queue:
+        decl = queue.pop()
+        if decl.qualified_name in visited or decl.body is None:
+            continue
+        visited.add(decl.qualified_name)
+        inner = _Walker()
+        inner.walk_stmt(decl.body)
+        walker.virtual_sites.extend(inner.virtual_sites)
+        walker.indirect_sites.extend(inner.indirect_sites)
+        queue.extend(inner.static_callees)
+    required: list[str] = []
+    seen: set[str] = set()
+    for site in walker.virtual_sites:
+        target = site.target
+        receiver = _owner_of(site)
+        if not isinstance(target, MethodInfo) or receiver is None:
+            continue
+        for implementation in _subclass_implementations(
+            info, receiver, target.name
+        ):
+            if implementation.qualified_name not in seen:
+                seen.add(implementation.qualified_name)
+                required.append(implementation.qualified_name)
+    if walker.indirect_sites:
+        taken = _program_taken_functions(info)
+        for site in walker.indirect_sites:
+            func_type = getattr(site, "funcptr_type", None)
+            for candidate in taken:
+                if candidate.qualified_name in seen:
+                    continue
+                if func_type is None or len(candidate.params) == len(
+                    func_type.param_types
+                ):
+                    seen.add(candidate.qualified_name)
+                    required.append(candidate.qualified_name)
+    declared = [item.display() for item in offload.domain]
+    return AnnotationReport(
+        offload_id=offload.offload_id,
+        required=sorted(required),
+        declared=declared,
+        virtual_call_sites=len(walker.virtual_sites)
+        + len(walker.indirect_sites),
+    )
+
+
+def report_for_program(info: SemanticInfo) -> list[AnnotationReport]:
+    """Annotation reports for every offload block in a program."""
+    return [annotation_requirements(info, o) for o in info.offloads]

@@ -1,0 +1,201 @@
+"""Static DMA race analysis over the IR.
+
+The paper cites static (Scratch, TACAS 2010) and dynamic (IBM Race Check
+Library) tools for the DMA race bug class.  This module is the static
+side for our IR: a per-basic-block abstract interpretation that tracks
+
+* registers holding *known symbolic addresses* — a (region, offset)
+  pair, where a region is a global, the frame, or an unknown pointer
+  source — propagated through Const/Move/FrameAddr/GlobalAddr and
+  constant-offset arithmetic; and
+* the set of DMA transfers issued but not yet waited for, as intervals
+  over those symbolic regions.
+
+Two outstanding transfers conflict under the same rules as the dynamic
+checker (put/put or get/put overlap in main memory; any overlap
+involving a get's local target in the local store).  The analysis is
+intra-block and resets at labels/branches, so it is sound only for the
+straight-line DMA idioms that dominate real offload code (the Figure 1
+pattern); loops are covered by the dynamic checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.instructions import (
+    BinOp,
+    CJump,
+    Const,
+    FrameAddr,
+    GlobalAddr,
+    Intrinsic,
+    Jump,
+    Move,
+)
+from repro.ir.module import IRFunction
+
+
+@dataclass(frozen=True)
+class SymAddr:
+    """A symbolic address: region name + constant byte offset."""
+
+    region: str  # "frame", "global:<name>", or "unknown:<n>"
+    offset: int
+
+    def shifted(self, delta: int) -> "SymAddr":
+        return SymAddr(self.region, self.offset + delta)
+
+
+@dataclass(frozen=True)
+class PendingTransfer:
+    """One issued, un-waited transfer."""
+
+    kind: str  # "get" | "put"
+    tag: Optional[int]  # None when not statically known
+    local: Optional[SymAddr]
+    outer: Optional[SymAddr]
+    size: Optional[int]
+    index: int  # instruction index, for reporting
+
+
+@dataclass(frozen=True)
+class StaticRaceFinding:
+    """A potential race between two statically-issued transfers."""
+
+    function: str
+    first_index: int
+    second_index: int
+    location: str  # "outer" | "local"
+
+    def describe(self) -> str:
+        return (
+            f"{self.function}: possible DMA race in {self.location} memory "
+            f"between transfers at instructions {self.first_index} and "
+            f"{self.second_index} (no intervening dma_wait)"
+        )
+
+
+def _ranges_overlap(
+    a: Optional[SymAddr],
+    a_size: Optional[int],
+    b: Optional[SymAddr],
+    b_size: Optional[int],
+) -> bool:
+    """Conservative overlap: unknown addresses in the same region (or an
+    unknown size) count as overlapping only when regions match."""
+    if a is None or b is None:
+        return False  # different unknown provenance: stay quiet
+    if a.region != b.region:
+        return False
+    if a_size is None or b_size is None:
+        return True
+    return a.offset < b.offset + b_size and b.offset < a.offset + a_size
+
+
+def _conflict(
+    earlier: PendingTransfer, later: PendingTransfer
+) -> Optional[str]:
+    if _ranges_overlap(earlier.outer, earlier.size, later.outer, later.size):
+        if not (earlier.kind == "get" and later.kind == "get"):
+            return "outer"
+    if _ranges_overlap(earlier.local, earlier.size, later.local, later.size):
+        if earlier.kind == "get" or later.kind == "get":
+            return "local"
+    return None
+
+
+def find_static_races(function: IRFunction) -> list[StaticRaceFinding]:
+    """Run the analysis over one IR function."""
+    findings: list[StaticRaceFinding] = []
+    values: dict[int, object] = {}  # reg -> int | SymAddr
+    pending: list[PendingTransfer] = []
+    unknown_counter = 0
+    label_indices = set(function.labels.values())
+
+    def reset_state() -> None:
+        values.clear()
+        pending.clear()
+
+    for index, instr in enumerate(function.code):
+        if index in label_indices:
+            reset_state()
+        if isinstance(instr, Const):
+            values[instr.dst] = instr.value if isinstance(instr.value, int) else None
+        elif isinstance(instr, Move):
+            values[instr.dst] = values.get(instr.src)
+        elif isinstance(instr, FrameAddr):
+            values[instr.dst] = SymAddr("frame", instr.offset)
+        elif isinstance(instr, GlobalAddr):
+            values[instr.dst] = SymAddr(f"global:{instr.name}", 0)
+        elif isinstance(instr, BinOp) and instr.op in ("+", "-", "*"):
+            a = values.get(instr.a)
+            b = values.get(instr.b)
+            if instr.op == "*":
+                if isinstance(a, int) and isinstance(b, int):
+                    values[instr.dst] = a * b
+                else:
+                    unknown_counter += 1
+                    values[instr.dst] = SymAddr(f"unknown:{unknown_counter}", 0)
+                continue
+            sign = 1 if instr.op == "+" else -1
+            if isinstance(a, SymAddr) and isinstance(b, int):
+                values[instr.dst] = a.shifted(sign * b)
+            elif isinstance(b, SymAddr) and isinstance(a, int) and sign == 1:
+                values[instr.dst] = b.shifted(a)
+            elif isinstance(a, int) and isinstance(b, int):
+                values[instr.dst] = a + sign * b
+            else:
+                unknown_counter += 1
+                values[instr.dst] = SymAddr(f"unknown:{unknown_counter}", 0)
+        elif isinstance(instr, (Jump, CJump)):
+            reset_state()
+        elif isinstance(instr, Intrinsic):
+            if instr.name in ("dma_get", "dma_put"):
+                local = values.get(instr.args[0])
+                outer = values.get(instr.args[1])
+                size = values.get(instr.args[2])
+                tag = values.get(instr.args[3])
+                transfer = PendingTransfer(
+                    kind="get" if instr.name == "dma_get" else "put",
+                    tag=tag if isinstance(tag, int) else None,
+                    local=local if isinstance(local, SymAddr) else None,
+                    outer=outer if isinstance(outer, SymAddr) else None,
+                    size=size if isinstance(size, int) else None,
+                    index=index,
+                )
+                for earlier in pending:
+                    location = _conflict(earlier, transfer)
+                    if location is not None:
+                        findings.append(
+                            StaticRaceFinding(
+                                function=function.name,
+                                first_index=earlier.index,
+                                second_index=index,
+                                location=location,
+                            )
+                        )
+                pending.append(transfer)
+            elif instr.name == "dma_wait":
+                tag = values.get(instr.args[0])
+                if isinstance(tag, int):
+                    pending[:] = [t for t in pending if t.tag != tag]
+                else:
+                    pending.clear()  # unknown tag: conservatively fences all
+            elif instr.name in ("acc_bulk_get", "acc_bulk_put"):
+                pass  # accessor transfers wait internally
+        else:
+            # Any other instruction writing a register invalidates it.
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, int):
+                values.pop(dst, None)
+    return findings
+
+
+def find_races_in_program(functions: list[IRFunction]) -> list[StaticRaceFinding]:
+    """Analyse every accelerator function of a program."""
+    findings: list[StaticRaceFinding] = []
+    for function in functions:
+        findings.extend(find_static_races(function))
+    return findings

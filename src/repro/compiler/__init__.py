@@ -1,0 +1,21 @@
+"""The Offload compiler: AST -> IR for a specific target machine.
+
+Stages:
+
+1. :mod:`repro.compiler.layout` — place globals and vtables in main
+   memory, assign host function ids (the simulated "host addresses"
+   stored in vtable slots).
+2. :mod:`repro.compiler.lower` — lower every function to IR.  Host
+   instances are compiled unconditionally; accelerator instances are
+   produced on demand by automatic call-graph duplication, one per
+   offload block and memory-space signature.  All memory-*space* type
+   checking happens here, where spaces are concrete.
+3. :mod:`repro.compiler.domains` — build the Figure 3 outer/inner
+   domain tables from ``domain(...)`` annotations.
+4. :mod:`repro.compiler.driver` — ties it together:
+   :func:`compile_program`.
+"""
+
+from repro.compiler.driver import CompileOptions, compile_program
+
+__all__ = ["CompileOptions", "compile_program"]

@@ -1,0 +1,99 @@
+"""Domain table construction (Figure 3).
+
+For every offload block, each ``domain(...)`` annotation entry names a
+virtual method implementation to pre-compile for the accelerator.  This
+module requests those duplicates from the compiler's worklist and builds
+the runtime :class:`~repro.runtime.dispatch.DomainTable`: the outer
+domain holds the implementations' host function ids (what a vtable slot
+will contain at run time), and each inner row holds the compiled
+``(duplicate signature, accelerator function)`` pairs.
+
+The default duplicate compiled for an annotation is the all-outer
+signature (receiver and any pointer arguments in host memory) — the
+common case when offloaded code walks host-resident game objects.  An
+``@local`` annotation requests the local-receiver duplicate instead.
+A call site whose computed signature has no matching inner entry raises
+:class:`repro.errors.MissingDuplicateError` at run time, naming the
+method to add — the paper's diagnostic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lang import ast
+from repro.lang.types import PointerType
+from repro.runtime.dispatch import DomainTable, InnerEntry
+
+if TYPE_CHECKING:
+    from repro.compiler.driver import Compiler
+
+
+def annotation_signature(
+    decl: ast.FuncDecl, this_space: str, has_this: bool = True
+) -> str:
+    """Duplicate signature compiled for a domain annotation entry."""
+    codes = []
+    if has_this:
+        codes.append("L" if this_space == "local" else "O")
+    for param in decl.params:
+        if param.symbol is not None and isinstance(param.symbol.type, PointerType):
+            codes.append("O")
+    return "".join(codes)
+
+
+def add_demand_entries(
+    compiler: "Compiler", offload: ast.OffloadExpr, table: DomainTable
+) -> None:
+    """On-demand code loading (the Section 4.1 "elaboration").
+
+    Compiles an all-outer duplicate of every virtual method in the
+    program and registers it as a *demand* entry.  Annotated entries
+    were added first, so they take precedence in the inner-row scan;
+    un-annotated methods become reachable at a first-dispatch
+    code-upload cost instead of raising MissingDuplicateError.
+    """
+    for class_type in compiler.info.classes.values():
+        for method in class_type.methods.values():
+            if not method.is_virtual:
+                continue
+            decl = method.decl
+            assert isinstance(decl, ast.FuncDecl)
+            if decl.body is None:
+                continue
+            sig = annotation_signature(decl, "outer")
+            accel_name = compiler.request_duplicate(
+                decl, class_type, sig, offload
+            )
+            host_fid = compiler.layout.fid_by_name[method.qualified_name]
+            table.add(
+                host_fid,
+                method.qualified_name,
+                [InnerEntry(duplicate_id=sig, target=accel_name, demand=True)],
+            )
+
+
+def build_domain_table(
+    compiler: "Compiler", offload: ast.OffloadExpr
+) -> DomainTable:
+    """Create the offload's domain table, requesting method duplicates."""
+    table = DomainTable()
+    for item in getattr(offload, "resolved_domain", []):
+        decl = item.decl
+        assert isinstance(decl, ast.FuncDecl)
+        sig = annotation_signature(decl, item.this_space, item.has_this)
+        if compiler.config.shared_memory:
+            # Shared-memory targets dispatch through plain vtables; the
+            # annotation is recorded (for the effort metrics) but no
+            # duplicate is needed.
+            continue
+        accel_name = compiler.request_duplicate(
+            decl, item.class_type, sig, offload
+        )
+        host_fid = compiler.layout.fid_by_name[item.qualified_name]
+        table.add(
+            host_fid,
+            item.qualified_name,
+            [InnerEntry(duplicate_id=sig, target=accel_name)],
+        )
+    return table

@@ -1,0 +1,198 @@
+"""The compiler driver: source text -> :class:`repro.ir.IRProgram`.
+
+Pipeline: parse -> sema -> layout -> lower host instances -> process the
+accelerator duplication worklist (offload entries and per-signature
+function duplicates) -> build domain tables -> validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.sema import SemanticInfo, analyze
+from repro.lang.types import ClassType
+from repro.ir.module import IRProgram, OffloadMeta
+from repro.machine.config import MachineConfig
+from repro.compiler import domains as domains_mod
+from repro.compiler.layout import LayoutResult, apply_layout, compute_layout
+from repro.compiler.lower import FunctionLowerer, OffloadEntryLowerer
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Target-independent compiler knobs.
+
+    Attributes:
+        wordaddr_mode: ``"hybrid"`` — the paper's scheme (static errors
+            for inefficient byte arithmetic, cheap constant extracts);
+            ``"emulate"`` — the all-byte-pointers baseline that converts
+            on every dereference (Section 5's rejected alternative,
+            kept for the E8 benchmark).
+        default_cache: Cache kind used by offload blocks without an
+            explicit ``cache(...)`` annotation: "none" (raw per-access
+            DMA), "direct", "setassoc" or "victim".
+        optimize: Run the IR optimisation pipeline (constant folding,
+            copy propagation, dead code elimination) on every function.
+        demand_load: Compile an all-outer duplicate of *every* virtual
+            method into every offload's domain, marked for on-demand
+            code loading — the Section 4.1 "elaboration": no
+            missing-duplicate exceptions for outer receivers, at a
+            first-dispatch code-upload cost per accelerator.
+        dump_ir: Attach a printable IR dump to the program (debugging).
+    """
+
+    wordaddr_mode: str = "hybrid"
+    default_cache: str = "none"
+    optimize: bool = False
+    demand_load: bool = False
+    dump_ir: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wordaddr_mode not in ("hybrid", "emulate"):
+            raise ValueError(
+                f"wordaddr_mode must be 'hybrid' or 'emulate', "
+                f"got {self.wordaddr_mode!r}"
+            )
+        if self.default_cache not in ("none", "direct", "setassoc", "victim"):
+            raise ValueError(f"unknown default cache {self.default_cache!r}")
+
+
+class Compiler:
+    """Compiles one analysed program for one target machine config."""
+
+    def __init__(
+        self,
+        info: SemanticInfo,
+        config: MachineConfig,
+        options: CompileOptions,
+    ):
+        self.info = info
+        self.config = config
+        self.options = options
+        word_align = config.word_size if config.word_addressed else 1
+        self.layout: LayoutResult = compute_layout(info, word_align)
+        self.program = IRProgram(target_name=config.name)
+        self._worklist: list[tuple] = []
+        self._scheduled: set[str] = set()
+
+    # ------------------------------------------------------------ requests
+
+    def duplicate_name(
+        self, decl: ast.FuncDecl, offload: ast.OffloadExpr, sig: str
+    ) -> str:
+        return f"{decl.qualified_name}@{offload.offload_id}${sig}"
+
+    def request_duplicate(
+        self,
+        decl: ast.FuncDecl,
+        owner: Optional[ClassType],
+        sig: str,
+        offload: ast.OffloadExpr,
+    ) -> str:
+        """Queue an accelerator duplicate; returns its mangled name."""
+        name = self.duplicate_name(decl, offload, sig)
+        if name not in self._scheduled:
+            self._scheduled.add(name)
+            self._worklist.append(("dup", decl, owner, sig, offload, name))
+        return name
+
+    def request_offload_entry(self, offload: ast.OffloadExpr) -> str:
+        name = f"__offload_{offload.offload_id}"
+        if name not in self._scheduled:
+            self._scheduled.add(name)
+            self._worklist.append(("entry", offload, name))
+        return name
+
+    # -------------------------------------------------------------- passes
+
+    def _owner_of(self, decl: ast.FuncDecl) -> Optional[ClassType]:
+        if decl.owner is None:
+            return None
+        return self.info.classes[decl.owner]
+
+    def _lower_host_instances(self) -> None:
+        for qname in sorted(self.info.functions):
+            decl = self.info.functions[qname]
+            lowerer = FunctionLowerer(
+                self,
+                decl,
+                self._owner_of(decl),
+                space="host",
+                sig="",
+                offload=None,
+                mangled=qname,
+            )
+            self.program.functions[qname] = lowerer.compile()
+
+    def _drain_worklist(self) -> None:
+        while self._worklist:
+            job = self._worklist.pop(0)
+            if job[0] == "entry":
+                _, offload, name = job
+                lowerer = OffloadEntryLowerer(self, offload, name)
+                self.program.functions[name] = lowerer.compile()
+            else:
+                _, decl, owner, sig, offload, name = job
+                lowerer = FunctionLowerer(
+                    self,
+                    decl,
+                    owner,
+                    space="accel",
+                    sig=sig,
+                    offload=offload,
+                    mangled=name,
+                )
+                self.program.functions[name] = lowerer.compile()
+
+    def _build_offload_meta(self) -> None:
+        for offload in self.info.offloads:
+            entry = self.request_offload_entry(offload)
+            table = domains_mod.build_domain_table(self, offload)
+            if self.options.demand_load and not self.config.shared_memory:
+                domains_mod.add_demand_entries(self, offload, table)
+            cache_kind = offload.cache_kind or self.options.default_cache
+            self.program.offload_meta[offload.offload_id] = OffloadMeta(
+                offload_id=offload.offload_id,
+                entry=entry,
+                cache_kind=None if cache_kind == "none" else cache_kind,
+                domain=table,
+                annotation_count=len(offload.domain),
+                capture_names=[s.name for s in offload.captures],
+            )
+
+    def compile(self) -> IRProgram:
+        apply_layout(self.program, self.layout)
+        self._build_offload_meta()
+        self._lower_host_instances()
+        self._drain_worklist()
+        if self.options.optimize:
+            from repro.compiler.optimize import optimize_program
+
+            optimize_program(self.program.functions)
+        self.program.validate()
+        return self.program
+
+
+def compile_program(
+    source: str,
+    config: MachineConfig,
+    options: Optional[CompileOptions] = None,
+    filename: str = "<input>",
+) -> IRProgram:
+    """Compile OffloadMini source text for a target machine.
+
+    Raises :class:`repro.errors.CompileError` (or a subclass) on any
+    lexical, syntactic, semantic or memory-space error.
+    """
+    program_ast = parse_program(source, filename)
+    info = analyze(program_ast)
+    compiler = Compiler(info, config, options or CompileOptions())
+    return compiler.compile()
+
+
+def analyze_source(source: str, filename: str = "<input>") -> SemanticInfo:
+    """Parse and type-check only (used by analysis tooling)."""
+    return analyze(parse_program(source, filename))

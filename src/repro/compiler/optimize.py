@@ -1,0 +1,377 @@
+"""IR optimisation passes.
+
+The lowering stage emits straightforward code (one Const per literal,
+a Move per variable read).  These passes clean that up:
+
+* **constant folding / propagation** — per basic block: registers with
+  known constant values are folded into dependent ALU operations, and
+  conditional jumps on known conditions become unconditional;
+* **copy propagation** — ``Move`` chains are short-circuited;
+* **dead code elimination** — pure instructions (ALU, address
+  computation, loads) whose results are never used are removed.
+
+All passes preserve program semantics exactly; they only reduce the
+instruction count, and therefore the simulated cycle cost — which is
+what an optimiser is for.  Enable with
+``CompileOptions(optimize=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    BinOp,
+    CJump,
+    Call,
+    Const,
+    Copy,
+    DomainCall,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    ICall,
+    Insert,
+    Instr,
+    Intrinsic,
+    Jump,
+    Load,
+    Move,
+    OffloadJoin,
+    OffloadLaunch,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import IRFunction
+
+_U32 = 0xFFFFFFFF
+
+
+def _wrap_signed(value: int) -> int:
+    return ((value + 0x80000000) & _U32) - 0x80000000
+
+
+# ---------------------------------------------------------------------------
+# Instruction introspection
+# ---------------------------------------------------------------------------
+
+
+def instr_uses(instr: Instr) -> list[int]:
+    """Registers read by the instruction."""
+    if isinstance(instr, Move):
+        return [instr.src]
+    if isinstance(instr, BinOp):
+        return [instr.a, instr.b]
+    if isinstance(instr, UnOp):
+        return [instr.a]
+    if isinstance(instr, Load):
+        return [instr.addr]
+    if isinstance(instr, Store):
+        return [instr.addr, instr.src]
+    if isinstance(instr, Copy):
+        regs = [instr.dst_addr, instr.src_addr]
+        if instr.size_reg is not None:
+            regs.append(instr.size_reg)
+        return regs
+    if isinstance(instr, Extract):
+        regs = [instr.word]
+        if instr.const_offset is None:
+            regs.append(instr.offset)
+        return regs
+    if isinstance(instr, Insert):
+        regs = [instr.word, instr.value]
+        if instr.const_offset is None:
+            regs.append(instr.offset)
+        return regs
+    if isinstance(instr, CJump):
+        return [instr.cond]
+    if isinstance(instr, (Call, Intrinsic, OffloadLaunch)):
+        return list(instr.args)
+    if isinstance(instr, ICall):
+        return [instr.func_id, *instr.args]
+    if isinstance(instr, DomainCall):
+        return [instr.func_id, *instr.args]
+    if isinstance(instr, OffloadJoin):
+        return [instr.handle]
+    if isinstance(instr, Ret):
+        return [instr.src] if instr.src is not None else []
+    return []
+
+
+def instr_def(instr: Instr) -> Optional[int]:
+    """The register written by the instruction, if any."""
+    dst = getattr(instr, "dst", None)
+    return dst if isinstance(dst, int) else None
+
+
+def is_pure(instr: Instr) -> bool:
+    """True when the instruction has no effect besides its result.
+
+    Loads are pure here: removing a load whose value is unused is a
+    legitimate optimisation (it also removes the access cost, which is
+    the point).
+    """
+    return isinstance(
+        instr, (Const, Move, BinOp, UnOp, FrameAddr, GlobalAddr, Load, Extract)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constant folding and copy propagation (per basic block)
+# ---------------------------------------------------------------------------
+
+
+def _fold_binop(instr: BinOp, a: object, b: object) -> Optional[object]:
+    """Evaluate a BinOp over known constants; None if not foldable."""
+    try:
+        if instr.op in ("==", "!=", "<", "<=", ">", ">="):
+            table = {
+                "==": a == b, "!=": a != b, "<": a < b,  # type: ignore[operator]
+                "<=": a <= b, ">": a > b, ">=": a >= b,  # type: ignore[operator]
+            }
+            return 1 if table[instr.op] else 0
+        if instr.float_op:
+            fa, fb = float(a), float(b)  # type: ignore[arg-type]
+            ops = {"+": fa + fb, "-": fa - fb, "*": fa * fb}
+            if instr.op == "/":
+                if fb == 0.0:
+                    return None
+                return fa / fb
+            return ops.get(instr.op)
+        ia, ib = int(a), int(b)  # type: ignore[arg-type]
+        if instr.op == "+":
+            result = ia + ib
+        elif instr.op == "-":
+            result = ia - ib
+        elif instr.op == "*":
+            result = ia * ib
+        elif instr.op == "&":
+            result = ia & ib
+        elif instr.op == "|":
+            result = ia | ib
+        elif instr.op == "^":
+            result = ia ^ ib
+        elif instr.op == "<<":
+            result = ia << (ib & 31)
+        else:
+            return None  # division and shifts right: leave to runtime
+        if instr.signed:
+            return _wrap_signed(result)
+        return result & _U32
+    except TypeError:
+        return None
+
+
+def fold_constants(function: IRFunction) -> int:
+    """Propagate constants/copies inside basic blocks; returns the
+    number of instructions rewritten."""
+    block_starts = set(function.labels.values())
+    constants: dict[int, object] = {}
+    copies: dict[int, int] = {}
+    changed = 0
+
+    def invalidate(reg: int) -> None:
+        constants.pop(reg, None)
+        copies.pop(reg, None)
+        for key in [k for k, v in copies.items() if v == reg]:
+            copies.pop(key)
+
+    def canonical(reg: int) -> int:
+        seen = set()
+        while reg in copies and reg not in seen:
+            seen.add(reg)
+            reg = copies[reg]
+        return reg
+
+    for index, instr in enumerate(function.code):
+        if index in block_starts:
+            constants.clear()
+            copies.clear()
+        # Rewrite register operands through known copies.
+        if isinstance(instr, Move):
+            source = canonical(instr.src)
+            if source != instr.src:
+                instr.src = source
+                changed += 1
+        elif isinstance(instr, BinOp):
+            a, b = canonical(instr.a), canonical(instr.b)
+            if (a, b) != (instr.a, instr.b):
+                instr.a, instr.b = a, b
+                changed += 1
+            if a in constants and b in constants:
+                folded = _fold_binop(instr, constants[a], constants[b])
+                if folded is not None:
+                    function.code[index] = Const(
+                        dst=instr.dst, value=folded, comment="folded"
+                    )
+                    instr = function.code[index]
+                    changed += 1
+        elif isinstance(instr, UnOp):
+            a = canonical(instr.a)
+            if a != instr.a:
+                instr.a = a
+                changed += 1
+            if a in constants and instr.op in ("-", "!", "~"):
+                value = constants[a]
+                try:
+                    if instr.op == "-":
+                        folded: object = (
+                            -float(value) if instr.float_op  # type: ignore[arg-type]
+                            else _wrap_signed(-int(value))  # type: ignore[arg-type]
+                        )
+                    elif instr.op == "!":
+                        folded = 0 if value else 1
+                    else:
+                        folded = _wrap_signed(~int(value))  # type: ignore[arg-type]
+                    function.code[index] = Const(
+                        dst=instr.dst, value=folded, comment="folded"
+                    )
+                    instr = function.code[index]
+                    changed += 1
+                except TypeError:
+                    pass
+        elif isinstance(instr, CJump):
+            cond = canonical(instr.cond)
+            if cond != instr.cond:
+                instr.cond = cond
+                changed += 1
+            if cond in constants:
+                target = (
+                    instr.then_label if constants[cond] else instr.else_label
+                )
+                function.code[index] = Jump(label=target, comment="folded cjump")
+                instr = function.code[index]
+                changed += 1
+        else:
+            # Explicit per-type operand rewrite: only fields that hold
+            # register numbers may be redirected through known copies.
+            register_fields: tuple[str, ...] = ()
+            if isinstance(instr, Load):
+                register_fields = ("addr",)
+            elif isinstance(instr, Store):
+                register_fields = ("addr", "src")
+            elif isinstance(instr, Copy):
+                register_fields = ("dst_addr", "src_addr")
+                if instr.size_reg is not None:
+                    register_fields += ("size_reg",)
+            elif isinstance(instr, Extract):
+                register_fields = ("word",)
+                if instr.const_offset is None:
+                    register_fields += ("offset",)
+            elif isinstance(instr, Insert):
+                register_fields = ("word", "value")
+                if instr.const_offset is None:
+                    register_fields += ("offset",)
+            elif isinstance(instr, (ICall, DomainCall)):
+                register_fields = ("func_id",)
+            elif isinstance(instr, OffloadJoin):
+                register_fields = ("handle",)
+            elif isinstance(instr, Ret):
+                if instr.src is not None:
+                    register_fields = ("src",)
+            for field_name in register_fields:
+                current = getattr(instr, field_name)
+                new = canonical(current)
+                if new != current:
+                    setattr(instr, field_name, new)
+                    changed += 1
+            if isinstance(
+                instr, (Call, ICall, DomainCall, Intrinsic, OffloadLaunch)
+            ):
+                for position, reg in enumerate(instr.args):
+                    new = canonical(reg)
+                    if new != reg:
+                        instr.args[position] = new
+                        changed += 1
+        # Update the abstract state.
+        defined = instr_def(instr)
+        if defined is not None:
+            invalidate(defined)
+            if isinstance(instr, Const):
+                constants[defined] = instr.value
+            elif isinstance(instr, Move):
+                source = instr.src
+                if source in constants:
+                    constants[defined] = constants[source]
+                copies[defined] = source
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_code(function: IRFunction) -> int:
+    """Remove pure instructions whose results are never read.
+
+    Conservative about variable home registers: a register that is
+    written more than once (a mutable variable, e.g. a loop counter)
+    is never eliminated, because a later read may occur earlier in the
+    code (loop back edge).
+    """
+    use_counts: dict[int, int] = {}
+    def_counts: dict[int, int] = {}
+    for instr in function.code:
+        for reg in instr_uses(instr):
+            use_counts[reg] = use_counts.get(reg, 0) + 1
+        defined = instr_def(instr)
+        if defined is not None:
+            def_counts[defined] = def_counts.get(defined, 0) + 1
+    param_regs = set(range(len(function.params)))
+    dead_indices = set()
+    for index, instr in enumerate(function.code):
+        defined = instr_def(instr)
+        if (
+            defined is not None
+            and is_pure(instr)
+            and use_counts.get(defined, 0) == 0
+            and def_counts.get(defined, 0) == 1
+            and defined not in param_regs
+        ):
+            dead_indices.add(index)
+    if not dead_indices:
+        return 0
+    _rebuild(function, dead_indices)
+    return len(dead_indices)
+
+
+def _rebuild(function: IRFunction, dead_indices: set[int]) -> None:
+    """Drop the given instruction indices, remapping label targets."""
+    index_map: dict[int, int] = {}
+    new_code: list[Instr] = []
+    for index, instr in enumerate(function.code):
+        index_map[index] = len(new_code)
+        if index not in dead_indices:
+            new_code.append(instr)
+    index_map[len(function.code)] = len(new_code)
+    function.code = new_code
+    function.labels = {
+        name: index_map[target] for name, target in function.labels.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def optimize_function(function: IRFunction, max_rounds: int = 4) -> int:
+    """Run the pass pipeline to a fixpoint; returns instructions removed."""
+    before = len(function.code)
+    for _ in range(max_rounds):
+        changed = fold_constants(function)
+        changed += eliminate_dead_code(function)
+        if changed == 0:
+            break
+    function.resolve_labels()  # sanity: all jump targets still exist
+    return before - len(function.code)
+
+
+def optimize_program(functions: dict[str, IRFunction]) -> int:
+    """Optimise every function; returns total instructions removed."""
+    removed = 0
+    for function in functions.values():
+        removed += optimize_function(function)
+    return removed

@@ -1,0 +1,162 @@
+"""Section 5: indexed (word) addressing — legality and classification.
+
+On a word-addressed target every pointer expression carries an *address
+kind*:
+
+* ``"word"`` — the address is a whole number of words (the default for
+  unannotated pointers, which may therefore only point to word-aligned
+  data).
+* an ``int`` k (0 <= k < word_size) — a byte address that is a known
+  word-aligned base plus the compile-time constant k; dereferences
+  compile to a word load plus a constant-offset extract (cheap).
+* ``"dynamic"`` — a byte address with an unknown sub-word part; only
+  pointers explicitly declared ``__byte`` may hold these, and their
+  dereferences pay the variable extract cost.
+
+The functions here implement the paper's rules:
+
+* ``p + 4`` (word size 4) keeps a word pointer word-addressed;
+* ``p + 1`` produces a constant byte-addressed value, assignable to a
+  ``__byte`` pointer but **not** to a plain pointer;
+* ``p + x`` with variable ``x`` (and a non-word-multiple element size)
+  is a **compile-time error** on a word-addressed target — the
+  programmer must restructure;
+* byte-addressed values never flow into word-addressed pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import CompileError, SourceSpan
+from repro.lang.types import AddrUnit, PointerType
+
+AddrKind = Union[str, int]  # "word" | "dynamic" | constant sub-offset
+
+WORD = "word"
+DYNAMIC = "dynamic"
+
+
+def declared_unit(pointer: PointerType, word_addressed_target: bool) -> AddrUnit:
+    """Resolve a pointer's DEFAULT addressing for the current target."""
+    if pointer.addressing is AddrUnit.DEFAULT:
+        return AddrUnit.WORD if word_addressed_target else AddrUnit.BYTE
+    return pointer.addressing
+
+
+def initial_kind(pointer: PointerType, word_addressed_target: bool) -> AddrKind:
+    """Address kind of a value freshly typed as ``pointer``.
+
+    ``__byte`` pointer *variables* are conservatively dynamic (their
+    constant offset, if any, is not tracked through storage).
+    """
+    if not word_addressed_target:
+        return WORD  # address kinds are inert on byte-addressed targets
+    if declared_unit(pointer, True) is AddrUnit.BYTE:
+        return DYNAMIC
+    return WORD
+
+
+def add_offset(
+    base: AddrKind,
+    byte_delta: Optional[int],
+    word_size: int,
+    span: Optional[SourceSpan],
+    context: str,
+) -> AddrKind:
+    """Address kind after ``base + byte_delta`` bytes.
+
+    ``byte_delta`` None means the delta is a run-time value whose
+    sub-word remainder is unknown (variable index times a
+    non-word-multiple element size).
+    """
+    if base == DYNAMIC:
+        return DYNAMIC
+    if byte_delta is None:
+        # A word-kind pointer plus an unpredictable byte delta: the
+        # paper's compiler rejects this outright.
+        raise CompileError.single(
+            "E-word-arith",
+            f"{context}: pointer arithmetic with a variable offset that is "
+            f"not a multiple of the word size ({word_size}) cannot be "
+            f"compiled efficiently on a word-addressed target; restructure "
+            f"the loop or declare the pointer __byte",
+            span,
+        )
+    if base == WORD:
+        remainder = byte_delta % word_size
+        return WORD if remainder == 0 else remainder
+    assert isinstance(base, int)
+    remainder = (base + byte_delta) % word_size
+    return WORD if remainder == 0 else remainder
+
+
+def scaled_delta(
+    element_size: int, const_index: Optional[int], word_size: int
+) -> Optional[int]:
+    """Byte delta of ``ptr + index`` when classifiable, else None.
+
+    A constant index gives an exact delta.  A variable index still gives
+    a *word-kind-preserving* delta when the element size is a multiple
+    of the word size (every step lands on a word boundary) — returned as
+    0 since only the remainder matters.
+    """
+    if const_index is not None:
+        return element_size * const_index
+    if element_size % word_size == 0:
+        return 0
+    return None
+
+
+def check_pointer_flow(
+    dest: PointerType,
+    value_kind: AddrKind,
+    word_addressed_target: bool,
+    span: Optional[SourceSpan],
+    context: str,
+) -> None:
+    """Enforce the assignment rule: byte values cannot flow into
+    word-addressed pointers (``char *q = p + 1;`` is illegal; the
+    ``__byte``-qualified form is the legal spelling)."""
+    if not word_addressed_target:
+        return
+    if declared_unit(dest, True) is AddrUnit.BYTE:
+        return  # word -> byte widening is always permitted
+    if value_kind != WORD:
+        raise CompileError.single(
+            "E-word-assign",
+            f"{context}: a byte-addressed pointer value cannot be assigned "
+            f"to a word-addressed pointer; declare the destination with "
+            f"__byte or keep offsets word-aligned",
+            span,
+        )
+
+
+def deref_plan(
+    kind: AddrKind, size: int, word_size: int
+) -> str:
+    """How to compile a dereference of ``size`` bytes at kind ``kind``.
+
+    Returns one of:
+
+    * ``"direct"`` — word-aligned, whole-word-multiple access; a plain
+      load/store.
+    * ``"const-extract"`` — word load plus constant-offset extract
+      (the efficient hybrid path the paper advertises).
+    * ``"dynamic-extract"`` — word load plus variable-offset extract
+      (the expensive all-byte-pointers fallback).
+    """
+    if kind == WORD and size % word_size == 0:
+        return "direct"
+    if kind == DYNAMIC:
+        return "dynamic-extract"
+    if kind == WORD:
+        # Word-aligned but sub-word-sized access (e.g. first char of a
+        # word): constant extract at offset 0.
+        return "const-extract"
+    assert isinstance(kind, int)
+    if size > word_size - kind:
+        # The access straddles a word boundary; treat as dynamic (two
+        # loads in a real compiler — costed the same here).
+        return "dynamic-extract"
+    return "const-extract"

@@ -1,0 +1,28 @@
+"""The consumer-software substrate: a small game engine.
+
+This package stands in for the AAA game codebases of the paper's case
+studies.  It has two halves, mirroring the paper's two programming
+styles:
+
+* **manual intrinsics** (:mod:`repro.game.engine`): Python code driving
+  the simulated machine's DMA engine directly — the Figure 1 style a
+  PlayStation 3 programmer writes by hand;
+* **OffloadMini sources** (:mod:`repro.game.sources`): the same
+  workloads written in the language and compiled by the Offload
+  compiler — frame loops, the abstract/specialised component system,
+  AI strategy kernels, the Section 4.2 locality loops.
+
+:mod:`repro.game.layout` packs Python-side entity descriptions into
+simulated main memory with C-compatible struct layout;
+:mod:`repro.game.worldgen` generates deterministic game worlds.
+"""
+
+from repro.game.layout import FieldSpec, StructLayout
+from repro.game.worldgen import GameWorldData, generate_world
+
+__all__ = [
+    "FieldSpec",
+    "GameWorldData",
+    "StructLayout",
+    "generate_world",
+]

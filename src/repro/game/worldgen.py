@@ -1,0 +1,71 @@
+"""Deterministic game-world generation.
+
+Generates entity populations and collision-candidate pairs, and packs
+them into simulated main memory for the manual-intrinsics engine.  All
+randomness is seeded so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.game.layout import GAME_ENTITY, StructLayout
+from repro.machine.machine import Machine
+
+
+@dataclass
+class GameWorldData:
+    """A generated world packed into a machine's main memory."""
+
+    entity_base: int
+    entity_count: int
+    layout: StructLayout
+    #: (address of first, address of second) per collision candidate.
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    def entity_address(self, index: int) -> int:
+        if not 0 <= index < self.entity_count:
+            raise IndexError(
+                f"entity {index} out of range 0..{self.entity_count - 1}"
+            )
+        return self.entity_base + index * self.layout.size
+
+
+def generate_world(
+    machine: Machine,
+    entity_count: int = 128,
+    pair_count: int = 64,
+    seed: int = 2011,
+    layout: StructLayout = GAME_ENTITY,
+) -> GameWorldData:
+    """Create ``entity_count`` entities and ``pair_count`` collision
+    candidates in the machine's main memory heap."""
+    if entity_count <= 0:
+        raise ValueError("entity_count must be positive")
+    if pair_count < 0:
+        raise ValueError("pair_count cannot be negative")
+    rng = random.Random(seed)
+    base = machine.heap.allocate(entity_count * layout.size, alignment=16)
+    for index in range(entity_count):
+        values = {
+            "x": rng.uniform(-100.0, 100.0),
+            "y": rng.uniform(-100.0, 100.0),
+            "vx": rng.uniform(-5.0, 5.0),
+            "vy": rng.uniform(-5.0, 5.0),
+            "health": rng.randint(10, 100),
+            "state": 0,
+        }
+        layout.write(machine.main_memory, base + index * layout.size, values)
+    world = GameWorldData(
+        entity_base=base, entity_count=entity_count, layout=layout
+    )
+    for _ in range(pair_count):
+        first = rng.randrange(entity_count)
+        second = rng.randrange(entity_count)
+        while second == first and entity_count > 1:
+            second = rng.randrange(entity_count)
+        world.pairs.append(
+            (world.entity_address(first), world.entity_address(second))
+        )
+    return world

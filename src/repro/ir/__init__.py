@@ -1,0 +1,70 @@
+"""Linear register-based intermediate representation.
+
+Lowered OffloadMini executes as a sequence of simple instructions over an
+unbounded virtual register file per function invocation.  Memory-space
+distinctions are explicit at this level: every load/store names the space
+it touches (``MAIN`` or ``LOCAL``), and accesses that cross the
+accelerator/main-memory boundary are tagged ``outer`` so the interpreter
+can route them through the offload's transfer strategy (raw DMA or a
+software cache) — the compiled form of the paper's automatically
+generated data-movement code.
+"""
+
+from repro.ir.instructions import (
+    AccSpace,
+    BinOp,
+    Call,
+    CJump,
+    Const,
+    Copy,
+    DomainCall,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    ICall,
+    Insert,
+    Instr,
+    Intrinsic,
+    Jump,
+    Load,
+    Move,
+    OffloadJoin,
+    OffloadLaunch,
+    Ret,
+    Store,
+    Trap,
+    UnOp,
+)
+from repro.ir.module import IRFunction, IRProgram, OffloadMeta
+from repro.ir.printer import format_function, format_program
+
+__all__ = [
+    "AccSpace",
+    "BinOp",
+    "CJump",
+    "Call",
+    "Const",
+    "Copy",
+    "DomainCall",
+    "Extract",
+    "FrameAddr",
+    "GlobalAddr",
+    "ICall",
+    "IRFunction",
+    "IRProgram",
+    "Insert",
+    "Instr",
+    "Intrinsic",
+    "Jump",
+    "Load",
+    "Move",
+    "OffloadJoin",
+    "OffloadLaunch",
+    "OffloadMeta",
+    "Ret",
+    "Store",
+    "Trap",
+    "UnOp",
+    "format_function",
+    "format_program",
+]

@@ -1,0 +1,46 @@
+"""Human-readable IR dumps (debugging aid)."""
+
+from __future__ import annotations
+
+from repro.ir.module import IRFunction, IRProgram
+
+
+def format_function(function: IRFunction) -> str:
+    """Render one function as indented text with label markers."""
+    index_to_labels: dict[int, list[str]] = {}
+    for label, index in function.labels.items():
+        index_to_labels.setdefault(index, []).append(label)
+    header = (
+        f"func {function.name}({', '.join(function.params)}) "
+        f"[space={function.space}, frame={function.frame_size}, "
+        f"regs={function.num_regs}]"
+    )
+    lines = [header]
+    for index, instr in enumerate(function.code):
+        for label in sorted(index_to_labels.get(index, [])):
+            lines.append(f"{label}:")
+        text = f"  {index:4d}  {instr.describe()}"
+        if instr.comment:
+            text += f"    ; {instr.comment}"
+        lines.append(text)
+    for label in sorted(index_to_labels.get(len(function.code), [])):
+        lines.append(f"{label}:")
+    return "\n".join(lines)
+
+
+def format_program(program: IRProgram) -> str:
+    """Render the whole program: globals, vtables, functions."""
+    lines = [f"; target: {program.target_name}"]
+    for name, slot in sorted(program.globals.items()):
+        lines.append(f"global {name} @ {slot.address:#x} ({slot.size} bytes)")
+    for class_name, address in sorted(program.vtables.items()):
+        lines.append(f"vtable {class_name} @ {address:#x}")
+    for meta in program.offload_meta.values():
+        lines.append(
+            f"offload #{meta.offload_id} entry={meta.entry} "
+            f"cache={meta.cache_kind} domain={len(meta.domain)} entries"
+        )
+    for name in sorted(program.functions):
+        lines.append("")
+        lines.append(format_function(program.functions[name]))
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""The OffloadMini language front end.
+
+OffloadMini is the C++-like subset this reproduction compiles: classes
+with single inheritance and virtual methods, structs, pointers, fixed
+arrays, functions, and the paper's extensions — ``__offload`` blocks with
+``domain(...)``/``cache(...)`` annotations, ``__outer`` pointer
+qualification, the ``Array<T,N>`` accessor type, DMA intrinsics, and the
+Section 5 ``__byte``/``__word`` addressing attributes.
+"""
+
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.sema import SemanticAnalyzer, analyze
+from repro.lang.tokens import Token, TokenKind
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "SemanticAnalyzer",
+    "Token",
+    "TokenKind",
+    "analyze",
+    "parse_program",
+    "tokenize",
+]

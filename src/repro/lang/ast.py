@@ -1,0 +1,405 @@
+"""Abstract syntax tree for OffloadMini.
+
+Nodes are plain dataclasses.  Semantic analysis decorates expression
+nodes in place with a resolved ``type`` attribute (a
+:class:`repro.lang.types.Type`) and name nodes with their resolved
+symbol; the lowering stage reads those annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SourceSpan
+
+
+# --------------------------------------------------------------------------
+# Type references (syntax-level; resolved to repro.lang.types in sema)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TypeRef:
+    """Base class of syntactic type references."""
+
+    span: Optional[SourceSpan] = field(default=None, kw_only=True)
+
+
+@dataclass
+class NamedTypeRef(TypeRef):
+    """A builtin (``int``, ``float``, ...) or user type name."""
+
+    name: str = ""
+
+
+@dataclass
+class PointerTypeRef(TypeRef):
+    """One pointer level, with optional space/addressing qualifiers.
+
+    ``outer`` forces the host memory space (the paper's ``__outer``);
+    ``addressing`` is ``"byte"``, ``"word"`` or None (target default) —
+    the Section 5 attributes.
+    """
+
+    pointee: TypeRef = field(default_factory=NamedTypeRef)
+    outer: bool = False
+    addressing: Optional[str] = None
+
+
+@dataclass
+class ArrayTypeRef(TypeRef):
+    """A fixed-size array; the extent must be a constant expression."""
+
+    element: TypeRef = field(default_factory=NamedTypeRef)
+    size: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class AccessorTypeRef(TypeRef):
+    """The library type ``Array<T, N>`` (Section 4.2 accessor class)."""
+
+    element: TypeRef = field(default_factory=NamedTypeRef)
+    count: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class HandleTypeRef(TypeRef):
+    """``__offload_handle_t``."""
+
+
+@dataclass
+class FuncPtrTypeRef(TypeRef):
+    """A function-pointer declarator: ``ret (*name)(params)``."""
+
+    return_type: TypeRef = field(default_factory=NamedTypeRef)
+    params: list[TypeRef] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base expression; sema attaches ``.type`` to every instance."""
+
+    span: Optional[SourceSpan] = field(default=None, kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.type = None  # set by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    suffix: str = "int"  # "int", "uint", "char"
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class NameExpr(Expr):
+    """An identifier use; sema sets ``.symbol``."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.symbol = None
+
+
+@dataclass
+class ThisExpr(Expr):
+    pass
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """Ops: ``-`` ``!`` ``~`` ``*`` (deref) ``&`` (address-of)."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """Arithmetic, comparison, logical and bitwise binary operators."""
+
+    op: str = ""
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]`` — array, pointer or accessor indexing."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class MemberExpr(Expr):
+    """``base.name`` or ``base->name``; sema sets ``.field``/``.method``."""
+
+    base: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.field = None
+        self.method = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """A call; callee is a NameExpr (free function / intrinsic) or a
+    MemberExpr (method call).  Sema sets ``.target`` (FuncDecl or
+    intrinsic name) and ``.is_virtual``."""
+
+    callee: Expr = None  # type: ignore[assignment]
+    args: list[Expr] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.target = None
+        self.is_virtual = False
+
+
+@dataclass
+class CastExpr(Expr):
+    target_type: TypeRef = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SizeofExpr(Expr):
+    """``sizeof(type)``; sema folds it to a constant."""
+
+    target_type: TypeRef = None  # type: ignore[assignment]
+
+
+@dataclass
+class OffloadExpr(Expr):
+    """``__offload [annotations] { body }`` — yields a handle.
+
+    Captures are computed by sema: every enclosing-function local or
+    parameter referenced inside the block (globals need no capture).
+    """
+
+    domain: list["DomainItem"] = field(default_factory=list)
+    cache_kind: Optional[str] = None
+    body: "BlockStmt" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.captures = []  # list[Symbol], set by sema
+        self.offload_id = -1  # set by sema (stable per program)
+
+
+@dataclass
+class DomainItem:
+    """One entry of a ``domain(...)`` annotation.
+
+    ``Class::method`` names a virtual method implementation;
+    a bare ``name`` names a free function (for function pointers).
+    ``this_space`` is ``"outer"`` (default) or ``"local"`` — which
+    duplicate to pre-compile, selected with ``@local`` (e.g.
+    ``domain(GameObject::move@local)``).
+    """
+
+    class_name: Optional[str]
+    method_name: str
+    this_space: str = "outer"
+    span: Optional[SourceSpan] = None
+
+    def display(self) -> str:
+        prefix = f"{self.class_name}::" if self.class_name else ""
+        suffix = "@local" if self.this_space == "local" else ""
+        return f"{prefix}{self.method_name}{suffix}"
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    span: Optional[SourceSpan] = field(default=None, kw_only=True)
+
+
+@dataclass
+class BlockStmt(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    """A local declaration, possibly with an initializer.
+
+    For accessor declarations (``Array<T,N> a(outer_expr);``) the
+    initializer is the bound outer expression.
+    """
+
+    declared_type: TypeRef = None  # type: ignore[assignment]
+    name: str = ""
+    init: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.symbol = None  # set by sema
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target op= value`` where op is '', '+', '-', '*' or '/'."""
+
+    target: Expr = None  # type: ignore[assignment]
+    op: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDecStmt(Stmt):
+    """``target++;`` / ``target--;`` (statement-level only)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    delta: int = 1
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_body: Stmt = None  # type: ignore[assignment]
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class JoinStmt(Stmt):
+    """``__offload_join(handle);``"""
+
+    handle: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ParamDecl:
+    declared_type: TypeRef
+    name: str
+    span: Optional[SourceSpan] = None
+
+    def __post_init__(self) -> None:
+        self.symbol = None  # set by sema
+
+
+@dataclass
+class FuncDecl:
+    """A free function or a method (``owner`` set for methods)."""
+
+    name: str
+    return_type: TypeRef
+    params: list[ParamDecl]
+    body: Optional[BlockStmt]
+    is_virtual: bool = False
+    owner: Optional[str] = None  # owning class name for methods
+    span: Optional[SourceSpan] = None
+
+    def __post_init__(self) -> None:
+        self.symbol = None  # set by sema
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}::{self.name}" if self.owner else self.name
+
+
+@dataclass
+class FieldDecl:
+    declared_type: TypeRef
+    name: str
+    span: Optional[SourceSpan] = None
+
+
+@dataclass
+class ClassDecl:
+    """A ``class`` or ``struct`` (identical semantics here)."""
+
+    name: str
+    base: Optional[str]
+    fields: list[FieldDecl]
+    methods: list[FuncDecl]
+    is_class: bool = True
+    span: Optional[SourceSpan] = None
+
+
+@dataclass
+class GlobalVarDecl:
+    declared_type: TypeRef
+    name: str
+    init: Optional[Expr] = None
+    span: Optional[SourceSpan] = None
+
+    def __post_init__(self) -> None:
+        self.symbol = None  # set by sema
+
+
+@dataclass
+class Program:
+    """A whole translation unit."""
+
+    classes: list[ClassDecl] = field(default_factory=list)
+    globals: list[GlobalVarDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,205 @@
+"""Hand-written lexer for OffloadMini."""
+
+from __future__ import annotations
+
+from repro.errors import Diagnostic, LexError
+from repro.lang.source import SourceFile
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_PUNCT3: dict[str, TokenKind] = {}
+
+_PUNCT2 = {
+    "->": TokenKind.ARROW,
+    "::": TokenKind.COLONCOLON,
+    "&&": TokenKind.AMPAMP,
+    "||": TokenKind.PIPEPIPE,
+    "<<": TokenKind.LSHIFT,
+    ">>": TokenKind.RSHIFT,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQEQ,
+    "!=": TokenKind.NOTEQ,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
+    "/=": TokenKind.SLASH_ASSIGN,
+    "++": TokenKind.PLUSPLUS,
+    "--": TokenKind.MINUSMINUS,
+}
+
+_PUNCT1 = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "!": TokenKind.BANG,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "=": TokenKind.ASSIGN,
+    "@": TokenKind.AT,
+    ":": TokenKind.COLON,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+class Lexer:
+    """Turns an OffloadMini source buffer into a token stream."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self._text = source.text
+        self._pos = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self._pos + ahead
+        return self._text[index] if index < len(self._text) else ""
+
+    def _error(self, message: str, start: int) -> LexError:
+        span = self.source.span(start, self._pos)
+        return LexError([Diagnostic("E-lex", message, span)])
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._text):
+            char = self._text[self._pos]
+            if char in " \t\r\n":
+                self._pos += 1
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < len(self._text) and self._text[self._pos] != "\n":
+                    self._pos += 1
+            elif char == "/" and self._peek(1) == "*":
+                start = self._pos
+                self._pos += 2
+                while self._pos < len(self._text) and not (
+                    self._text[self._pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._pos += 1
+                if self._pos >= len(self._text):
+                    raise self._error("unterminated block comment", start)
+                self._pos += 2
+            else:
+                return
+
+    def _make(self, kind: TokenKind, start: int, value: object = None) -> Token:
+        text = self._text[start : self._pos]
+        return Token(kind, text, self.source.span(start, self._pos), value)
+
+    # ------------------------------------------------------------ scanning
+
+    def _scan_number(self, start: int) -> Token:
+        # NOTE: character-class checks must reject the empty string that
+        # _peek returns at end of input ("" is a substring of anything).
+        text = self._text
+        hex_digits = "0123456789abcdef"
+        if text[start] == "0" and self._peek(1) in ("x", "X"):
+            self._pos += 2
+            digits_start = self._pos
+            while self._peek() and self._peek().lower() in hex_digits:
+                self._pos += 1
+            if self._pos == digits_start:
+                raise self._error("hex literal needs digits", start)
+            value = int(text[start : self._pos], 16)
+            return self._make(TokenKind.INT_LIT, start, value)
+        while self._peek().isdigit():
+            self._pos += 1
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._pos += 1
+            while self._peek().isdigit():
+                self._pos += 1
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in ("+", "-") and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._pos += 1
+            if self._peek() in ("+", "-"):
+                self._pos += 1
+            while self._peek().isdigit():
+                self._pos += 1
+        if self._peek() in ("f", "F"):
+            is_float = True
+            literal = text[start : self._pos]
+            self._pos += 1
+            return self._make(TokenKind.FLOAT_LIT, start, float(literal))
+        literal = text[start : self._pos]
+        if is_float:
+            return self._make(TokenKind.FLOAT_LIT, start, float(literal))
+        return self._make(TokenKind.INT_LIT, start, int(literal))
+
+    def _scan_char(self, start: int) -> Token:
+        self._pos += 1  # opening quote
+        char = self._peek()
+        if not char or char == "\n":
+            raise self._error("unterminated character literal", start)
+        if char == "\\":
+            escape = self._peek(1)
+            if escape not in _ESCAPES:
+                raise self._error(f"unknown escape '\\{escape}'", start)
+            value = _ESCAPES[escape]
+            self._pos += 2
+        else:
+            value = char
+            self._pos += 1
+        if self._peek() != "'":
+            raise self._error("unterminated character literal", start)
+        self._pos += 1
+        return self._make(TokenKind.CHAR_LIT, start, ord(value))
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF token at end of input)."""
+        self._skip_trivia()
+        start = self._pos
+        if self._pos >= len(self._text):
+            return self._make(TokenKind.EOF, start)
+        char = self._text[self._pos]
+        if char.isalpha() or char == "_":
+            while self._peek().isalnum() or self._peek() == "_":
+                self._pos += 1
+            text = self._text[start : self._pos]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            return self._make(kind, start, text)
+        if char.isdigit():
+            return self._scan_number(start)
+        if char == "'":
+            return self._scan_char(start)
+        pair = self._text[self._pos : self._pos + 2]
+        if pair in _PUNCT2:
+            self._pos += 2
+            return self._make(_PUNCT2[pair], start)
+        if char in _PUNCT1:
+            self._pos += 1
+            return self._make(_PUNCT1[char], start)
+        self._pos += 1
+        raise self._error(f"unexpected character {char!r}", start)
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole buffer; the final element is the EOF token."""
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex a string into a token list."""
+    return Lexer(SourceFile(text, filename)).tokens()

@@ -1,0 +1,1372 @@
+"""Semantic analysis for OffloadMini.
+
+Responsibilities:
+
+* build :class:`~repro.lang.types.ClassType` objects (layout, vtables,
+  override checking),
+* resolve every name and type every expression (annotations are written
+  onto the AST in place),
+* fold constant expressions (array extents, ``sizeof``),
+* analyse offload blocks: assign ids, compute the capture set, resolve
+  ``domain(...)`` annotations to method implementations,
+* check intrinsic usage (DMA operations only inside offload blocks).
+
+Memory-*space* checking is deliberately not done here: spaces become
+concrete only when functions are duplicated per space signature, so the
+space type-checks happen in ``repro.compiler.lower`` where the paper's
+compiler also performs them.  Sema types all unqualified pointers as
+``GENERIC`` space and records explicit ``__outer`` annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import Diagnostic, SourceSpan, TypeCheckError
+from repro.lang import ast
+from repro.lang.symbols import Scope, Symbol, SymbolKind
+from repro.lang.types import (
+    BOOL,
+    CHAR,
+    FLOAT,
+    INT,
+    UINT,
+    VOID,
+    AccessorType,
+    AddrUnit,
+    ArrayType,
+    ClassType,
+    FuncPtrType,
+    HandleType,
+    MemSpace,
+    MethodInfo,
+    PointerType,
+    ScalarType,
+    Type,
+    VoidType,
+    common_arithmetic_type,
+    is_arithmetic,
+    is_integer,
+)
+
+#: Intrinsic signatures.  "ptr" matches any pointer type.
+INTRINSICS: dict[str, tuple[list[object], Type]] = {
+    "print_int": ([INT], VOID),
+    "print_float": ([FLOAT], VOID),
+    "print_char": ([CHAR], VOID),
+    "dma_get": (["ptr", "ptr", INT, INT], VOID),
+    "dma_put": (["ptr", "ptr", INT, INT], VOID),
+    "dma_wait": ([INT], VOID),
+    "sqrtf": ([FLOAT], FLOAT),
+    "fabsf": ([FLOAT], FLOAT),
+    "iabs": ([INT], INT),
+    "imin": ([INT, INT], INT),
+    "imax": ([INT, INT], INT),
+    "fminf": ([FLOAT, FLOAT], FLOAT),
+    "fmaxf": ([FLOAT, FLOAT], FLOAT),
+}
+
+#: Intrinsics that require an accelerator context (an offload block).
+OFFLOAD_ONLY_INTRINSICS = {"dma_get", "dma_put", "dma_wait"}
+
+
+class ResolvedDomainItem:
+    """A ``domain(...)`` entry resolved to its implementation.
+
+    Either a virtual method (``class_type``/``method`` set) or a free
+    function reachable through a function pointer (``func`` set).
+    """
+
+    def __init__(
+        self,
+        class_type: "ClassType | None" = None,
+        method: "MethodInfo | None" = None,
+        this_space: str = "outer",
+        func: object = None,
+    ):
+        self.class_type = class_type
+        self.method = method
+        self.this_space = this_space
+        self.func = func  # ast.FuncDecl for free functions
+
+    @property
+    def qualified_name(self) -> str:
+        if self.method is not None:
+            return self.method.qualified_name
+        assert self.func is not None
+        return self.func.qualified_name  # type: ignore[attr-defined]
+
+    @property
+    def decl(self) -> object:
+        if self.method is not None:
+            return self.method.decl
+        return self.func
+
+    @property
+    def has_this(self) -> bool:
+        return self.method is not None
+
+    def display(self) -> str:
+        suffix = "@local" if self.this_space == "local" else ""
+        return f"{self.qualified_name}{suffix}"
+
+
+class SemanticInfo:
+    """Everything later compiler stages need, keyed off the checked AST."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.classes: dict[str, ClassType] = {}
+        self.functions: dict[str, ast.FuncDecl] = {}
+        self.globals: list[ast.GlobalVarDecl] = []
+        self.offloads: list[ast.OffloadExpr] = []
+
+
+class SemanticAnalyzer:
+    """Single-pass (plus pre-passes) checker; raises TypeCheckError."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.info = SemanticInfo(program)
+        self._global_scope = Scope()
+        self._current_function: Optional[ast.FuncDecl] = None
+        self._current_class: Optional[ClassType] = None
+        self._current_offload: Optional[ast.OffloadExpr] = None
+        self._enclosing_offload_scope: Optional[Scope] = None
+        self._this_symbol: Optional[Symbol] = None
+        self._loop_depth = 0
+        self._next_offload_id = 0
+
+    # ------------------------------------------------------------ utilities
+
+    def _fail(self, code: str, message: str, span: Optional[SourceSpan]) -> None:
+        raise TypeCheckError([Diagnostic(code, message, span)])
+
+    def _const_int(self, expr: ast.Expr) -> int:
+        """Evaluate a compile-time integer constant expression."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return int(expr.value)
+        if isinstance(expr, ast.SizeofExpr):
+            return self._resolve_typeref(expr.target_type).size()
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "-":
+            return -self._const_int(expr.operand)
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self._const_int(expr.lhs)
+            rhs = self._const_int(expr.rhs)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if b else 0,
+                "%": lambda a, b: a % b if b else 0,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+        self._fail(
+            "E-const",
+            "expected a compile-time integer constant expression",
+            expr.span,
+        )
+        raise AssertionError  # unreachable
+
+    # --------------------------------------------------------- type refs
+
+    def _resolve_typeref(self, ref: ast.TypeRef) -> Type:
+        if isinstance(ref, ast.NamedTypeRef):
+            scalars: dict[str, Type] = {
+                "void": VOID,
+                "bool": BOOL,
+                "char": CHAR,
+                "int": INT,
+                "uint": UINT,
+                "float": FLOAT,
+            }
+            if ref.name in scalars:
+                return scalars[ref.name]
+            if ref.name in self.info.classes:
+                return self.info.classes[ref.name]
+            self._fail("E-unknown-type", f"unknown type {ref.name!r}", ref.span)
+        if isinstance(ref, ast.PointerTypeRef):
+            pointee = self._resolve_typeref(ref.pointee)
+            space = MemSpace.HOST if ref.outer else MemSpace.GENERIC
+            addressing = {
+                None: AddrUnit.DEFAULT,
+                "byte": AddrUnit.BYTE,
+                "word": AddrUnit.WORD,
+            }[ref.addressing]
+            return PointerType(pointee, space, addressing)
+        if isinstance(ref, ast.ArrayTypeRef):
+            element = self._resolve_typeref(ref.element)
+            count = self._const_int(ref.size)
+            if count <= 0:
+                self._fail(
+                    "E-array-extent",
+                    f"array extent must be positive, got {count}",
+                    ref.span,
+                )
+            return ArrayType(element, count)
+        if isinstance(ref, ast.AccessorTypeRef):
+            element = self._resolve_typeref(ref.element)
+            count = self._const_int(ref.count)
+            if count <= 0:
+                self._fail(
+                    "E-array-extent",
+                    f"Array<T, N> extent must be positive, got {count}",
+                    ref.span,
+                )
+            return AccessorType(element, count)
+        if isinstance(ref, ast.HandleTypeRef):
+            return HandleType()
+        if isinstance(ref, ast.FuncPtrTypeRef):
+            return_type = self._resolve_typeref(ref.return_type)
+            params = tuple(
+                self._decay(self._resolve_typeref(p)) for p in ref.params
+            )
+            return FuncPtrType(return_type, params)
+        raise AssertionError(f"unhandled type ref {ref!r}")
+
+    # ------------------------------------------------------- conversions
+
+    def _decay(self, expr_type: Type) -> Type:
+        """Array-to-pointer decay (space stays GENERIC until lowering)."""
+        if isinstance(expr_type, ArrayType):
+            return PointerType(expr_type.element, MemSpace.GENERIC)
+        return expr_type
+
+    def _can_assign(self, dest: Type, src: Type) -> bool:
+        """Implicit-conversion check, space-agnostic (see module doc)."""
+        src = self._decay(src)
+        if isinstance(dest, PointerType) and isinstance(src, PointerType):
+            if isinstance(dest.pointee, VoidType) or isinstance(
+                src.pointee, VoidType
+            ):
+                return True
+            if (
+                isinstance(dest.pointee, ClassType)
+                and isinstance(src.pointee, ClassType)
+                and src.pointee.is_subclass_of(dest.pointee)
+            ):
+                return True
+            return self._same_pointee(dest.pointee, src.pointee)
+        if isinstance(dest, PointerType) and isinstance(src, VoidType):
+            return False
+        if isinstance(dest, PointerType):
+            return False  # null literal handled by caller
+        if isinstance(dest, HandleType):
+            return isinstance(src, HandleType)
+        if is_arithmetic(dest) and is_arithmetic(src):
+            assert isinstance(dest, ScalarType) and isinstance(src, ScalarType)
+            if src.is_float_type and not dest.is_float_type:
+                return False  # float -> int needs an explicit cast
+            return True
+        if isinstance(dest, ClassType) and isinstance(src, ClassType):
+            return src.is_subclass_of(dest)
+        return dest == src
+
+    def _same_pointee(self, a: Type, b: Type) -> bool:
+        """Structural equality ignoring space/addressing qualifiers."""
+        if isinstance(a, PointerType) and isinstance(b, PointerType):
+            return self._same_pointee(a.pointee, b.pointee)
+        if isinstance(a, ClassType) or isinstance(b, ClassType):
+            return a is b
+        return a == b
+
+    def _require_assignable(
+        self, dest: Type, src_expr: ast.Expr, span: Optional[SourceSpan], what: str
+    ) -> None:
+        if isinstance(src_expr, ast.NullLit) and isinstance(
+            dest, (PointerType, FuncPtrType)
+        ):
+            src_expr.type = dest
+            return
+        src = src_expr.type
+        assert src is not None
+        if not self._can_assign(dest, src):
+            self._fail(
+                "E-type-mismatch",
+                f"cannot {what}: expected {dest}, got {src}",
+                span,
+            )
+
+    def _is_truthy(self, t: Type) -> bool:
+        return is_arithmetic(t) or isinstance(t, PointerType)
+
+    # ----------------------------------------------------------- classes
+
+    def _collect_classes(self) -> None:
+        for decl in self.program.classes:
+            if decl.name in self.info.classes:
+                self._fail(
+                    "E-redefined", f"type {decl.name!r} redefined", decl.span
+                )
+            base: Optional[ClassType] = None
+            if decl.base is not None:
+                base = self.info.classes.get(decl.base)
+                if base is None:
+                    self._fail(
+                        "E-unknown-type",
+                        f"unknown base class {decl.base!r} "
+                        f"(classes must be declared before use)",
+                        decl.span,
+                    )
+            class_type = ClassType(decl.name, base)
+            self.info.classes[decl.name] = class_type
+            # Methods first (finalize assigns vtable slots from them).
+            for method in decl.methods:
+                if method.name in class_type.methods:
+                    self._fail(
+                        "E-redefined",
+                        f"method {decl.name}::{method.name} redefined "
+                        f"(no overloading)",
+                        method.span,
+                    )
+                class_type.methods[method.name] = MethodInfo(
+                    name=method.name,
+                    qualified_name=f"{decl.name}::{method.name}",
+                    decl=method,
+                    is_virtual=method.is_virtual
+                    or self._base_virtual(base, method.name),
+                )
+            own_fields: list[tuple[str, Type]] = []
+            for field_decl in decl.fields:
+                field_type = self._resolve_typeref(field_decl.declared_type)
+                if isinstance(field_type, (VoidType, HandleType, AccessorType)):
+                    self._fail(
+                        "E-field-type",
+                        f"field {field_decl.name!r} cannot have type "
+                        f"{field_type}",
+                        field_decl.span,
+                    )
+                own_fields.append((field_decl.name, field_type))
+            try:
+                class_type.finalize(own_fields)
+            except ValueError as exc:
+                self._fail("E-layout", str(exc), decl.span)
+            self._check_overrides(decl, class_type)
+
+    def _base_virtual(self, base: Optional[ClassType], name: str) -> bool:
+        if base is None:
+            return False
+        method = base.find_method(name)
+        return method is not None and method.is_virtual
+
+    def _check_overrides(self, decl: ast.ClassDecl, class_type: ClassType) -> None:
+        if class_type.base is None:
+            return
+        for method in decl.methods:
+            base_method = class_type.base.find_method(method.name)
+            if base_method is None:
+                continue
+            base_decl = base_method.decl
+            assert isinstance(base_decl, ast.FuncDecl)
+            if len(base_decl.params) != len(method.params):
+                self._fail(
+                    "E-override-mismatch",
+                    f"{class_type.name}::{method.name} overrides "
+                    f"{base_method.qualified_name} with a different "
+                    f"parameter count",
+                    method.span,
+                )
+
+    # ----------------------------------------------------------- globals
+
+    def _collect_globals(self) -> None:
+        for decl in self.program.globals:
+            global_type = self._resolve_typeref(decl.declared_type)
+            if isinstance(global_type, (VoidType, HandleType, AccessorType)):
+                self._fail(
+                    "E-global-type",
+                    f"global {decl.name!r} cannot have type {global_type}",
+                    decl.span,
+                )
+            symbol = Symbol(decl.name, SymbolKind.GLOBAL, global_type, decl)
+            if not self._global_scope.define(symbol):
+                self._fail(
+                    "E-redefined", f"global {decl.name!r} redefined", decl.span
+                )
+            decl.symbol = symbol
+            if decl.init is not None:
+                if not isinstance(global_type, ScalarType):
+                    self._fail(
+                        "E-global-init",
+                        "only scalar globals may have initializers",
+                        decl.span,
+                    )
+                # Fold now; the loader writes the value into memory.
+                if isinstance(decl.init, ast.FloatLit):
+                    decl.folded_init = decl.init.value  # type: ignore[attr-defined]
+                else:
+                    decl.folded_init = self._const_int(decl.init)  # type: ignore[attr-defined]
+            else:
+                decl.folded_init = 0  # type: ignore[attr-defined]
+            self.info.globals.append(decl)
+
+    # --------------------------------------------------------- functions
+
+    def _collect_functions(self) -> None:
+        for func in self.program.functions:
+            qname = func.qualified_name
+            if qname in self.info.functions:
+                self._fail(
+                    "E-redefined",
+                    f"function {qname!r} redefined (no overloading)",
+                    func.span,
+                )
+            self.info.functions[qname] = func
+            symbol = Symbol(
+                func.name,
+                SymbolKind.FUNCTION,
+                self._resolve_typeref(func.return_type),
+                func,
+            )
+            func.symbol = symbol
+            self._global_scope.define(symbol)
+        for class_decl in self.program.classes:
+            for method in class_decl.methods:
+                self.info.functions[method.qualified_name] = method
+
+    def _check_all_bodies(self) -> None:
+        for func in self.program.functions:
+            self._check_function(func, None)
+        for class_decl in self.program.classes:
+            class_type = self.info.classes[class_decl.name]
+            for method in class_decl.methods:
+                self._check_function(method, class_type)
+
+    def _check_function(
+        self, func: ast.FuncDecl, owner: Optional[ClassType]
+    ) -> None:
+        self._current_function = func
+        self._current_class = owner
+        self._current_offload = None
+        scope = Scope(self._global_scope)
+        if owner is not None:
+            this_type = PointerType(owner, MemSpace.GENERIC)
+            self._this_symbol = Symbol("this", SymbolKind.THIS, this_type, func)
+            scope.define(self._this_symbol)
+        else:
+            self._this_symbol = None
+        func.this_symbol = self._this_symbol  # type: ignore[attr-defined]
+        func.resolved_return_type = self._resolve_typeref(func.return_type)  # type: ignore[attr-defined]
+        if isinstance(
+            func.resolved_return_type, (ClassType, ArrayType, AccessorType)  # type: ignore[attr-defined]
+        ):
+            self._fail(
+                "E-return-type",
+                f"{func.qualified_name} cannot return "
+                f"{func.resolved_return_type} by value (return a pointer)",  # type: ignore[attr-defined]
+                func.span,
+            )
+        for param in func.params:
+            param_type = self._resolve_typeref(param.declared_type)
+            param_type = self._decay(param_type)
+            if isinstance(
+                param_type, (VoidType, AccessorType, ClassType)
+            ) or isinstance(param_type, ArrayType):
+                self._fail(
+                    "E-param-type",
+                    f"parameter {param.name!r} cannot have type {param_type} "
+                    f"(pass classes and arrays by pointer)",
+                    param.span,
+                )
+            symbol = Symbol(param.name, SymbolKind.PARAM, param_type, param)
+            if not scope.define(symbol):
+                self._fail(
+                    "E-redefined",
+                    f"parameter {param.name!r} redefined",
+                    param.span,
+                )
+            param.symbol = symbol
+        if func.body is not None:
+            self._check_block(func.body, Scope(scope))
+        self._current_function = None
+        self._current_class = None
+
+    # -------------------------------------------------------- statements
+
+    def _check_block(self, block: ast.BlockStmt, scope: Scope) -> None:
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.BlockStmt):
+            self._check_block(stmt, Scope(scope))
+        elif isinstance(stmt, ast.VarDeclStmt):
+            self._check_var_decl(stmt, scope)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._check_assign(stmt, scope)
+        elif isinstance(stmt, ast.IncDecStmt):
+            target_type = self._check_expr(stmt.target, scope)
+            if not self._is_lvalue(stmt.target):
+                self._fail("E-lvalue", "++/-- target is not assignable", stmt.span)
+            if not (is_integer(target_type) or isinstance(target_type, PointerType)):
+                self._fail(
+                    "E-type-mismatch",
+                    f"cannot increment value of type {target_type}",
+                    stmt.span,
+                )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            cond = self._check_expr(stmt.condition, scope)
+            if not self._is_truthy(cond):
+                self._fail(
+                    "E-condition", f"condition has type {cond}", stmt.span
+                )
+            self._check_stmt(stmt.then_body, Scope(scope))
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, Scope(scope))
+        elif isinstance(stmt, ast.WhileStmt):
+            cond = self._check_expr(stmt.condition, scope)
+            if not self._is_truthy(cond):
+                self._fail(
+                    "E-condition", f"condition has type {cond}", stmt.span
+                )
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.ForStmt):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.condition is not None:
+                cond = self._check_expr(stmt.condition, inner)
+                if not self._is_truthy(cond):
+                    self._fail(
+                        "E-condition", f"condition has type {cond}", stmt.span
+                    )
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, Scope(inner))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.ReturnStmt):
+            if self._current_offload is not None:
+                self._fail(
+                    "E-offload-return",
+                    "return cannot appear inside an offload block (the "
+                    "block is not the enclosing function)",
+                    stmt.span,
+                )
+            assert self._current_function is not None
+            expected = self._current_function.resolved_return_type  # type: ignore[attr-defined]
+            if stmt.value is None:
+                if not isinstance(expected, VoidType):
+                    self._fail(
+                        "E-return",
+                        f"non-void function must return {expected}",
+                        stmt.span,
+                    )
+            else:
+                if isinstance(expected, VoidType):
+                    self._fail(
+                        "E-return", "void function returns a value", stmt.span
+                    )
+                self._check_expr(stmt.value, scope)
+                self._require_assignable(expected, stmt.value, stmt.span, "return")
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self._loop_depth == 0:
+                self._fail(
+                    "E-loop", "break/continue outside of a loop", stmt.span
+                )
+        elif isinstance(stmt, ast.JoinStmt):
+            handle = self._check_expr(stmt.handle, scope)
+            if not isinstance(handle, HandleType):
+                self._fail(
+                    "E-type-mismatch",
+                    f"__offload_join expects a handle, got {handle}",
+                    stmt.span,
+                )
+            if self._current_offload is not None:
+                self._fail(
+                    "E-offload-nesting",
+                    "__offload_join cannot appear inside an offload block",
+                    stmt.span,
+                )
+        else:
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _check_var_decl(self, stmt: ast.VarDeclStmt, scope: Scope) -> None:
+        declared = self._resolve_typeref(stmt.declared_type)
+        if isinstance(declared, VoidType):
+            self._fail(
+                "E-var-type", f"variable {stmt.name!r} cannot be void", stmt.span
+            )
+        if isinstance(declared, AccessorType):
+            self._check_accessor_decl(stmt, declared, scope)
+            return
+        if isinstance(declared, HandleType):
+            if not isinstance(stmt.init, ast.OffloadExpr):
+                self._fail(
+                    "E-handle-init",
+                    "a handle must be initialised with an __offload block",
+                    stmt.span,
+                )
+        if stmt.init is not None:
+            self._check_expr(stmt.init, scope)
+            self._require_assignable(
+                declared, stmt.init, stmt.span, f"initialise {stmt.name!r}"
+            )
+        offload_id = (
+            self._current_offload.offload_id
+            if self._current_offload is not None
+            else -1
+        )
+        symbol = Symbol(
+            stmt.name, SymbolKind.LOCAL, declared, stmt, offload_id=offload_id
+        )
+        if not scope.define(symbol):
+            self._fail(
+                "E-redefined",
+                f"variable {stmt.name!r} redefined in this scope",
+                stmt.span,
+            )
+        stmt.symbol = symbol
+
+    def _check_accessor_decl(
+        self, stmt: ast.VarDeclStmt, declared: AccessorType, scope: Scope
+    ) -> None:
+        if stmt.init is None:
+            self._fail(
+                "E-accessor-init",
+                "Array<T, N> must be constructed from an outer array, "
+                "e.g. Array<T, N> a(outer_array);",
+                stmt.span,
+            )
+        init_type = self._check_expr(stmt.init, scope)
+        bound: Optional[Type] = None
+        if isinstance(init_type, ArrayType):
+            bound = init_type.element
+            if init_type.count < declared.count:
+                self._fail(
+                    "E-accessor-init",
+                    f"Array<T, {declared.count}> cannot stage an array of "
+                    f"{init_type.count} elements",
+                    stmt.span,
+                )
+        elif isinstance(init_type, PointerType):
+            bound = init_type.pointee
+        else:
+            self._fail(
+                "E-accessor-init",
+                f"Array<T, N> must bind an array or pointer, got {init_type}",
+                stmt.span,
+            )
+        assert bound is not None
+        if not self._same_pointee(declared.element, bound):
+            self._fail(
+                "E-accessor-init",
+                f"Array element type {declared.element} does not match "
+                f"bound array of {bound}",
+                stmt.span,
+            )
+        offload_id = (
+            self._current_offload.offload_id
+            if self._current_offload is not None
+            else -1
+        )
+        symbol = Symbol(
+            stmt.name, SymbolKind.LOCAL, declared, stmt, offload_id=offload_id
+        )
+        if not scope.define(symbol):
+            self._fail(
+                "E-redefined",
+                f"variable {stmt.name!r} redefined in this scope",
+                stmt.span,
+            )
+        stmt.symbol = symbol
+
+    def _check_assign(self, stmt: ast.AssignStmt, scope: Scope) -> None:
+        target_type = self._check_expr(stmt.target, scope)
+        if not self._is_lvalue(stmt.target):
+            self._fail("E-lvalue", "assignment target is not assignable", stmt.span)
+        self._check_expr(stmt.value, scope)
+        if stmt.op == "":
+            self._require_assignable(target_type, stmt.value, stmt.span, "assign")
+            return
+        # Compound assignment: target op value must itself type-check.
+        value_type = stmt.value.type
+        assert value_type is not None
+        if isinstance(target_type, PointerType) and stmt.op in ("+", "-"):
+            if not is_integer(self._decay(value_type)):
+                self._fail(
+                    "E-type-mismatch",
+                    f"pointer {stmt.op}= requires an integer, got {value_type}",
+                    stmt.span,
+                )
+            return
+        if (
+            common_arithmetic_type(target_type, self._decay(value_type))
+            is None
+        ):
+            self._fail(
+                "E-type-mismatch",
+                f"cannot apply {stmt.op}= between {target_type} and "
+                f"{value_type}",
+                stmt.span,
+            )
+        if (
+            isinstance(value_type, ScalarType)
+            and value_type.is_float_type
+            and isinstance(target_type, ScalarType)
+            and not target_type.is_float_type
+        ):
+            self._fail(
+                "E-type-mismatch",
+                "float to integer compound assignment needs an explicit cast",
+                stmt.span,
+            )
+
+    def _is_lvalue(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.NameExpr):
+            return expr.symbol is not None and expr.symbol.kind in (
+                SymbolKind.GLOBAL,
+                SymbolKind.LOCAL,
+                SymbolKind.PARAM,
+                SymbolKind.FIELD,
+            )
+        if isinstance(expr, ast.UnaryExpr):
+            return expr.op == "*"
+        if isinstance(expr, (ast.IndexExpr, ast.MemberExpr)):
+            return True
+        return False
+
+    # ------------------------------------------------------- expressions
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> Type:
+        result = self._check_expr_inner(expr, scope)
+        expr.type = result
+        return result
+
+    def _check_expr_inner(self, expr: ast.Expr, scope: Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return {"int": INT, "uint": UINT, "char": CHAR}[expr.suffix]
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.NullLit):
+            return PointerType(VOID, MemSpace.GENERIC)
+        if isinstance(expr, ast.NameExpr):
+            return self._check_name(expr, scope)
+        if isinstance(expr, ast.ThisExpr):
+            return self._check_this(expr)
+        if isinstance(expr, ast.SizeofExpr):
+            expr.folded_size = self._resolve_typeref(expr.target_type).size()  # type: ignore[attr-defined]
+            return INT
+        if isinstance(expr, ast.UnaryExpr):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.IndexExpr):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.MemberExpr):
+            return self._check_member(expr, scope)
+        if isinstance(expr, ast.CallExpr):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.CastExpr):
+            return self._check_cast(expr, scope)
+        if isinstance(expr, ast.OffloadExpr):
+            return self._check_offload(expr, scope)
+        raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _maybe_capture(self, symbol: Symbol, span: Optional[SourceSpan]) -> None:
+        """Record a capture when an offload body references an enclosing
+        function local/param declared outside the block."""
+        offload = self._current_offload
+        if offload is None:
+            return
+        if symbol.kind not in (SymbolKind.LOCAL, SymbolKind.PARAM, SymbolKind.THIS):
+            return
+        if symbol.offload_id == offload.offload_id:
+            return
+        if isinstance(symbol.type, HandleType):
+            self._fail(
+                "E-capture-handle",
+                "offload handles cannot be captured by an offload block",
+                span,
+            )
+        if isinstance(symbol.type, AccessorType):
+            self._fail(
+                "E-capture-accessor",
+                "accessor objects cannot be captured by an offload block",
+                span,
+            )
+        symbol.is_captured = True
+        if symbol not in offload.captures:
+            offload.captures.append(symbol)
+
+    def _check_name(self, expr: ast.NameExpr, scope: Scope) -> Type:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            # Implicit this->field / this->method inside a class body.
+            if self._current_class is not None:
+                field_info = self._current_class.find_field(expr.name)
+                if field_info is not None:
+                    field_symbol = Symbol(
+                        expr.name, SymbolKind.FIELD, field_info.type, field_info
+                    )
+                    expr.symbol = field_symbol
+                    if self._this_symbol is not None:
+                        self._maybe_capture(self._this_symbol, expr.span)
+                    return field_info.type
+            self._fail("E-undeclared", f"use of undeclared name {expr.name!r}", expr.span)
+        assert symbol is not None
+        if symbol.kind is SymbolKind.FUNCTION:
+            self._fail(
+                "E-func-value",
+                f"function {expr.name!r} used as a value (function "
+                f"pointers are expressed through domain annotations)",
+                expr.span,
+            )
+        expr.symbol = symbol
+        self._maybe_capture(symbol, expr.span)
+        return symbol.type
+
+    def _check_this(self, expr: ast.ThisExpr) -> Type:
+        if self._this_symbol is None:
+            self._fail("E-this", "'this' used outside a method", expr.span)
+        assert self._this_symbol is not None
+        self._maybe_capture(self._this_symbol, expr.span)
+        return self._this_symbol.type
+
+    def _check_unary(self, expr: ast.UnaryExpr, scope: Scope) -> Type:
+        if expr.op == "&" and isinstance(expr.operand, ast.NameExpr):
+            symbol = scope.lookup(expr.operand.name)
+            if symbol is not None and symbol.kind is SymbolKind.FUNCTION:
+                return self._check_function_address(expr, symbol)
+        operand = self._check_expr(expr.operand, scope)
+        if expr.op == "*":
+            decayed = self._decay(operand)
+            if not isinstance(decayed, PointerType):
+                self._fail(
+                    "E-deref", f"cannot dereference {operand}", expr.span
+                )
+            assert isinstance(decayed, PointerType)
+            if isinstance(decayed.pointee, VoidType):
+                self._fail("E-deref", "cannot dereference void*", expr.span)
+            return decayed.pointee
+        if expr.op == "&":
+            if not self._is_lvalue(expr.operand):
+                self._fail(
+                    "E-lvalue", "cannot take the address of this expression",
+                    expr.span,
+                )
+            if (
+                isinstance(expr.operand, ast.NameExpr)
+                and expr.operand.symbol is not None
+            ):
+                expr.operand.symbol.address_taken = True
+            if isinstance(operand, ArrayType):
+                self._fail(
+                    "E-addr-array",
+                    "take the address of an element (&a[0]) instead of "
+                    "the whole array",
+                    expr.span,
+                )
+            return PointerType(operand, MemSpace.GENERIC)
+        if expr.op == "-":
+            if not is_arithmetic(operand):
+                self._fail("E-type-mismatch", f"cannot negate {operand}", expr.span)
+            return operand if operand == FLOAT else INT
+        if expr.op == "!":
+            if not self._is_truthy(operand):
+                self._fail("E-type-mismatch", f"cannot apply ! to {operand}", expr.span)
+            return BOOL
+        if expr.op == "~":
+            if not is_integer(operand):
+                self._fail("E-type-mismatch", f"cannot apply ~ to {operand}", expr.span)
+            return operand if operand == UINT else INT
+        raise AssertionError(f"unhandled unary op {expr.op!r}")
+
+    def _check_function_address(
+        self, expr: ast.UnaryExpr, symbol: Symbol
+    ) -> Type:
+        """``&free_function`` yields a function-pointer value."""
+        decl = symbol.decl
+        assert isinstance(decl, ast.FuncDecl)
+        if decl.owner is not None:
+            self._fail(
+                "E-func-value",
+                "method pointers are not supported; use virtual dispatch "
+                "with a domain annotation instead",
+                expr.span,
+            )
+        params = tuple(
+            self._decay(self._resolve_typeref(p.declared_type))
+            for p in decl.params
+        )
+        operand = expr.operand
+        assert isinstance(operand, ast.NameExpr)
+        operand.symbol = symbol
+        operand.type = VOID  # the bare name has no value of its own
+        expr.func_target = decl  # type: ignore[attr-defined]
+        return FuncPtrType(self._resolve_typeref(decl.return_type), params)
+
+    def _check_binary(self, expr: ast.BinaryExpr, scope: Scope) -> Type:
+        lhs = self._decay(self._check_expr(expr.lhs, scope))
+        rhs = self._decay(self._check_expr(expr.rhs, scope))
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (self._is_truthy(lhs) and self._is_truthy(rhs)):
+                self._fail(
+                    "E-type-mismatch",
+                    f"cannot apply {op} between {lhs} and {rhs}",
+                    expr.span,
+                )
+            return BOOL
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if isinstance(lhs, PointerType) or isinstance(rhs, PointerType):
+                null_ok = isinstance(expr.lhs, ast.NullLit) or isinstance(
+                    expr.rhs, ast.NullLit
+                )
+                if not null_ok and not (
+                    isinstance(lhs, PointerType)
+                    and isinstance(rhs, PointerType)
+                    and (
+                        self._same_pointee(lhs.pointee, rhs.pointee)
+                        or isinstance(lhs.pointee, VoidType)
+                        or isinstance(rhs.pointee, VoidType)
+                        or self._related_classes(lhs.pointee, rhs.pointee)
+                    )
+                ):
+                    self._fail(
+                        "E-type-mismatch",
+                        f"cannot compare {lhs} with {rhs}",
+                        expr.span,
+                    )
+                return BOOL
+            if common_arithmetic_type(lhs, rhs) is None:
+                self._fail(
+                    "E-type-mismatch",
+                    f"cannot compare {lhs} with {rhs}",
+                    expr.span,
+                )
+            return BOOL
+        if op in ("+", "-"):
+            if isinstance(lhs, PointerType) and is_integer(rhs):
+                return lhs  # addressing-unit legality checked at lowering
+            if op == "+" and is_integer(lhs) and isinstance(rhs, PointerType):
+                return rhs
+            if (
+                op == "-"
+                and isinstance(lhs, PointerType)
+                and isinstance(rhs, PointerType)
+            ):
+                if not self._same_pointee(lhs.pointee, rhs.pointee):
+                    self._fail(
+                        "E-type-mismatch",
+                        f"cannot subtract {rhs} from {lhs}",
+                        expr.span,
+                    )
+                return INT
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (is_integer(lhs) and is_integer(rhs)):
+                self._fail(
+                    "E-type-mismatch",
+                    f"operator {op} requires integers, got {lhs} and {rhs}",
+                    expr.span,
+                )
+            return UINT if UINT in (lhs, rhs) else INT
+        common = common_arithmetic_type(lhs, rhs)
+        if common is None:
+            self._fail(
+                "E-type-mismatch",
+                f"cannot apply {op} between {lhs} and {rhs}",
+                expr.span,
+            )
+        assert common is not None
+        return common
+
+    def _related_classes(self, a: Type, b: Type) -> bool:
+        return (
+            isinstance(a, ClassType)
+            and isinstance(b, ClassType)
+            and (a.is_subclass_of(b) or b.is_subclass_of(a))
+        )
+
+    def _check_index(self, expr: ast.IndexExpr, scope: Scope) -> Type:
+        base = self._check_expr(expr.base, scope)
+        index = self._check_expr(expr.index, scope)
+        if not is_integer(self._decay(index)):
+            self._fail(
+                "E-index", f"array index must be an integer, got {index}",
+                expr.span,
+            )
+        if isinstance(base, ArrayType):
+            return base.element
+        if isinstance(base, AccessorType):
+            return base.element
+        decayed = self._decay(base)
+        if isinstance(decayed, PointerType) and not isinstance(
+            decayed.pointee, VoidType
+        ):
+            return decayed.pointee
+        self._fail("E-index", f"cannot index a value of type {base}", expr.span)
+        raise AssertionError
+
+    def _check_member(self, expr: ast.MemberExpr, scope: Scope) -> Type:
+        base = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            decayed = self._decay(base)
+            if not isinstance(decayed, PointerType) or not isinstance(
+                decayed.pointee, ClassType
+            ):
+                self._fail(
+                    "E-member",
+                    f"-> requires a pointer to a class, got {base}",
+                    expr.span,
+                )
+            assert isinstance(decayed, PointerType)
+            class_type = decayed.pointee
+        else:
+            if not isinstance(base, ClassType):
+                self._fail(
+                    "E-member", f". requires a class value, got {base}", expr.span
+                )
+            class_type = base
+        assert isinstance(class_type, ClassType)
+        field_info = class_type.find_field(expr.name)
+        if field_info is not None:
+            expr.field = field_info
+            return field_info.type
+        method = class_type.find_method(expr.name)
+        if method is not None:
+            expr.method = method
+            # Only valid as a call; _check_call consumes this.
+            return VOID
+        self._fail(
+            "E-member",
+            f"{class_type.name} has no member {expr.name!r}",
+            expr.span,
+        )
+        raise AssertionError
+
+    def _check_call(self, expr: ast.CallExpr, scope: Scope) -> Type:
+        callee = expr.callee
+        if isinstance(callee, ast.NameExpr):
+            return self._check_free_call(expr, callee, scope)
+        if isinstance(callee, ast.MemberExpr):
+            return self._check_method_call(expr, callee, scope)
+        self._fail("E-call", "expression is not callable", expr.span)
+        raise AssertionError
+
+    def _check_free_call(
+        self, expr: ast.CallExpr, callee: ast.NameExpr, scope: Scope
+    ) -> Type:
+        # Indirect call through a function-pointer variable.
+        pointer_symbol = scope.lookup(callee.name)
+        if pointer_symbol is not None and isinstance(
+            pointer_symbol.type, FuncPtrType
+        ):
+            return self._check_indirect_call(expr, callee, pointer_symbol, scope)
+        # Implicit this->method() inside a class body.
+        if self._current_class is not None:
+            method = self._current_class.find_method(callee.name)
+            if method is not None:
+                return self._finish_method_call(
+                    expr, method, implicit_this=True, arrow=True, scope=scope
+                )
+        if callee.name in INTRINSICS:
+            return self._check_intrinsic(expr, callee, scope)
+        func = self.info.functions.get(callee.name)
+        if func is None or func.owner is not None:
+            self._fail(
+                "E-undeclared",
+                f"call to undeclared function {callee.name!r}",
+                expr.span,
+            )
+        assert func is not None
+        if len(expr.args) != len(func.params):
+            self._fail(
+                "E-arity",
+                f"{callee.name} expects {len(func.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr.span,
+            )
+        for arg, param in zip(expr.args, func.params):
+            self._check_expr(arg, scope)
+            param_type = self._decay(self._resolve_typeref(param.declared_type))
+            self._require_assignable(
+                param_type, arg, arg.span, f"pass argument {param.name!r}"
+            )
+        expr.target = func
+        return self._resolve_typeref(func.return_type)
+
+    def _check_indirect_call(
+        self,
+        expr: ast.CallExpr,
+        callee: ast.NameExpr,
+        symbol: Symbol,
+        scope: Scope,
+    ) -> Type:
+        func_type = symbol.type
+        assert isinstance(func_type, FuncPtrType)
+        callee.symbol = symbol
+        callee.type = func_type
+        self._maybe_capture(symbol, expr.span)
+        if len(expr.args) != len(func_type.param_types):
+            self._fail(
+                "E-arity",
+                f"function pointer expects {len(func_type.param_types)} "
+                f"arguments, got {len(expr.args)}",
+                expr.span,
+            )
+        for arg, param_type in zip(expr.args, func_type.param_types):
+            self._check_expr(arg, scope)
+            self._require_assignable(
+                param_type, arg, arg.span, "pass through function pointer"
+            )
+        expr.target = "indirect"
+        expr.funcptr_type = func_type  # type: ignore[attr-defined]
+        return func_type.return_type
+
+    def _check_intrinsic(
+        self, expr: ast.CallExpr, callee: ast.NameExpr, scope: Scope
+    ) -> Type:
+        param_spec, return_type = INTRINSICS[callee.name]
+        if callee.name in OFFLOAD_ONLY_INTRINSICS and self._current_offload is None:
+            self._fail(
+                "E-intrinsic-context",
+                f"{callee.name} may only be used inside an __offload block "
+                f"(the host has no DMA engine)",
+                expr.span,
+            )
+        if len(expr.args) != len(param_spec):
+            self._fail(
+                "E-arity",
+                f"{callee.name} expects {len(param_spec)} arguments, "
+                f"got {len(expr.args)}",
+                expr.span,
+            )
+        for arg, spec in zip(expr.args, param_spec):
+            arg_type = self._decay(self._check_expr(arg, scope))
+            if spec == "ptr":
+                if isinstance(arg, ast.NullLit):
+                    arg.type = PointerType(VOID, MemSpace.GENERIC)
+                elif not isinstance(arg_type, PointerType):
+                    self._fail(
+                        "E-type-mismatch",
+                        f"{callee.name} expects a pointer, got {arg_type}",
+                        arg.span,
+                    )
+            else:
+                assert isinstance(spec, Type)
+                self._require_assignable(
+                    spec, arg, arg.span, f"pass to {callee.name}"
+                )
+        expr.target = callee.name  # intrinsics carry their name
+        return return_type
+
+    def _check_method_call(
+        self, expr: ast.CallExpr, callee: ast.MemberExpr, scope: Scope
+    ) -> Type:
+        base_type = self._check_expr(callee.base, scope)
+        # Accessor built-ins: a.put_back()
+        if isinstance(base_type, AccessorType):
+            if callee.name != "put_back":
+                self._fail(
+                    "E-member",
+                    f"Array<T, N> has no method {callee.name!r}",
+                    expr.span,
+                )
+            if expr.args:
+                self._fail("E-arity", "put_back takes no arguments", expr.span)
+            expr.target = "accessor.put_back"
+            return VOID
+        if callee.arrow:
+            decayed = self._decay(base_type)
+            if not isinstance(decayed, PointerType) or not isinstance(
+                decayed.pointee, ClassType
+            ):
+                self._fail(
+                    "E-member",
+                    f"-> requires a pointer to a class, got {base_type}",
+                    expr.span,
+                )
+            assert isinstance(decayed, PointerType)
+            class_type = decayed.pointee
+        else:
+            if not isinstance(base_type, ClassType):
+                self._fail(
+                    "E-member",
+                    f". requires a class value, got {base_type}",
+                    expr.span,
+                )
+            class_type = base_type
+        assert isinstance(class_type, ClassType)
+        method = class_type.find_method(callee.name)
+        if method is None:
+            self._fail(
+                "E-member",
+                f"{class_type.name} has no method {callee.name!r}",
+                expr.span,
+            )
+        assert method is not None
+        callee.method = method
+        return self._finish_method_call(
+            expr, method, implicit_this=False, arrow=callee.arrow, scope=scope
+        )
+
+    def _finish_method_call(
+        self,
+        expr: ast.CallExpr,
+        method: MethodInfo,
+        implicit_this: bool,
+        arrow: bool,
+        scope: Scope,
+    ) -> Type:
+        decl = method.decl
+        assert isinstance(decl, ast.FuncDecl)
+        if implicit_this and self._this_symbol is not None:
+            self._maybe_capture(self._this_symbol, expr.span)
+        if len(expr.args) != len(decl.params):
+            self._fail(
+                "E-arity",
+                f"{method.qualified_name} expects {len(decl.params)} "
+                f"arguments, got {len(expr.args)}",
+                expr.span,
+            )
+        for arg, param in zip(expr.args, decl.params):
+            self._check_expr(arg, scope)
+            param_type = self._decay(self._resolve_typeref(param.declared_type))
+            self._require_assignable(
+                param_type, arg, arg.span, f"pass argument {param.name!r}"
+            )
+        expr.target = method
+        expr.is_virtual = method.is_virtual and arrow
+        expr.implicit_this = implicit_this  # type: ignore[attr-defined]
+        return self._resolve_typeref(decl.return_type)
+
+    def _check_cast(self, expr: ast.CastExpr, scope: Scope) -> Type:
+        target = self._resolve_typeref(expr.target_type)
+        expr.resolved_target = target  # type: ignore[attr-defined]
+        operand = self._decay(self._check_expr(expr.operand, scope))
+        if isinstance(target, (VoidType, AccessorType, HandleType)):
+            self._fail("E-cast", f"cannot cast to {target}", expr.span)
+        if isinstance(target, PointerType):
+            if isinstance(expr.operand, ast.NullLit):
+                return target
+            if not isinstance(operand, PointerType) and not is_integer(operand):
+                self._fail(
+                    "E-cast", f"cannot cast {operand} to {target}", expr.span
+                )
+            return target
+        if isinstance(target, ScalarType):
+            if not (is_arithmetic(operand) or isinstance(operand, PointerType)):
+                self._fail(
+                    "E-cast", f"cannot cast {operand} to {target}", expr.span
+                )
+            return target
+        if isinstance(target, ClassType):
+            self._fail("E-cast", "cannot cast to a class value", expr.span)
+        raise AssertionError
+
+    # ----------------------------------------------------------- offloads
+
+    def _check_offload(self, expr: ast.OffloadExpr, scope: Scope) -> Type:
+        if self._current_offload is not None:
+            self._fail(
+                "E-offload-nesting", "offload blocks cannot nest", expr.span
+            )
+        if self._current_function is None:
+            self._fail(
+                "E-offload-context",
+                "offload blocks must appear inside a function",
+                expr.span,
+            )
+        expr.offload_id = self._next_offload_id
+        self._next_offload_id += 1
+        expr.enclosing_function = self._current_function  # type: ignore[attr-defined]
+        self._resolve_domain(expr)
+        if expr.cache_kind is not None and expr.cache_kind not in (
+            "direct",
+            "setassoc",
+            "victim",
+            "none",
+        ):
+            self._fail(
+                "E-cache-kind",
+                f"unknown cache kind {expr.cache_kind!r} (choose direct, "
+                f"setassoc, victim or none)",
+                expr.span,
+            )
+        self._current_offload = expr
+        self._check_block(expr.body, Scope(scope))
+        self._current_offload = None
+        self.info.offloads.append(expr)
+        return HandleType()
+
+    def _resolve_domain(self, expr: ast.OffloadExpr) -> None:
+        resolved: list[ResolvedDomainItem] = []
+        for item in expr.domain:
+            if item.class_name is None:
+                # A free function, callable through a function pointer.
+                func = self.info.functions.get(item.method_name)
+                if func is None or func.owner is not None:
+                    self._fail(
+                        "E-domain",
+                        f"domain entry {item.method_name!r} names neither a "
+                        f"Class::method nor a free function",
+                        item.span,
+                    )
+                assert func is not None
+                if item.this_space != "outer":
+                    self._fail(
+                        "E-domain",
+                        f"free function {item.method_name!r} has no "
+                        f"receiver; @local is meaningless",
+                        item.span,
+                    )
+                resolved.append(ResolvedDomainItem(func=func))
+                continue
+            class_type = self.info.classes.get(item.class_name)  # type: ignore[arg-type]
+            if class_type is None:
+                self._fail(
+                    "E-domain",
+                    f"unknown class {item.class_name!r} in domain annotation",
+                    item.span,
+                )
+            assert class_type is not None
+            method = class_type.methods.get(item.method_name)
+            if method is None:
+                self._fail(
+                    "E-domain",
+                    f"{item.class_name} does not define method "
+                    f"{item.method_name!r} (domain entries name the "
+                    f"implementing class)",
+                    item.span,
+                )
+            assert method is not None
+            if not method.is_virtual:
+                self._fail(
+                    "E-domain",
+                    f"{method.qualified_name} is not virtual; only virtual "
+                    f"methods belong in a domain annotation",
+                    item.span,
+                )
+            resolved.append(
+                ResolvedDomainItem(class_type, method, item.this_space)
+            )
+        expr.resolved_domain = resolved  # type: ignore[attr-defined]
+
+    # ---------------------------------------------------------------- run
+
+    def analyze(self) -> SemanticInfo:
+        """Run all passes; returns the semantic info or raises."""
+        self._collect_classes()
+        self._collect_globals()
+        self._collect_functions()
+        self._check_all_bodies()
+        if "main" not in self.info.functions:
+            self._fail("E-no-main", "program has no 'main' function", None)
+        return self.info
+
+
+def analyze(program: ast.Program) -> SemanticInfo:
+    """Type-check a parsed program."""
+    return SemanticAnalyzer(program).analyze()

@@ -1,0 +1,47 @@
+"""Source buffers and position tracking."""
+
+from __future__ import annotations
+
+from repro.errors import SourceLocation, SourceSpan
+
+
+class SourceFile:
+    """A named source buffer with offset -> line/column translation."""
+
+    def __init__(self, text: str, filename: str = "<input>"):
+        self.text = text
+        self.filename = filename
+        self._line_starts = [0]
+        for index, char in enumerate(text):
+            if char == "\n":
+                self._line_starts.append(index + 1)
+
+    def location(self, offset: int) -> SourceLocation:
+        """Translate a character offset into a 1-based line/column."""
+        offset = max(0, min(offset, len(self.text)))
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        line = lo + 1
+        column = offset - self._line_starts[lo] + 1
+        return SourceLocation(self.filename, line, column)
+
+    def span(self, start_offset: int, end_offset: int) -> SourceSpan:
+        """Build a span from two character offsets."""
+        return SourceSpan(self.location(start_offset), self.location(end_offset))
+
+    def line_text(self, line: int) -> str:
+        """The text of a 1-based line, without its newline."""
+        if not 1 <= line <= len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = (
+            self._line_starts[line] - 1
+            if line < len(self._line_starts)
+            else len(self.text)
+        )
+        return self.text[start:end]

@@ -1,0 +1,146 @@
+"""Machine configurations and cycle cost models.
+
+Three presets mirror the three architecture families the paper discusses:
+
+* ``CELL_LIKE`` — a host core plus accelerator cores, each accelerator
+  owning a private 256 KiB scratch-pad local store, with all traffic to
+  main memory going through a tagged DMA engine (Cell BE / PlayStation 3).
+* ``SMP_UNIFORM`` — a symmetric shared-memory multicore with a single flat
+  address space (Xbox 360-style); offload blocks become ordinary threads
+  and accessor classes degrade to direct access.
+* ``DSP_WORD`` — a word-addressed unit (PlayStation 2 vector unit /
+  TigerSHARC style) where addresses index 4-byte words and sub-word access
+  requires explicit extract/insert sequences.
+
+Costs are in simulated cycles.  They are chosen to preserve the *ratios*
+the paper's narrative depends on (local access is cheap, an outer access
+costs two orders of magnitude more, bulk DMA amortises setup cost), not to
+model any specific silicon exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs for the simulated machine.
+
+    Attributes:
+        alu: Simple register-to-register arithmetic/logic operation.
+        branch: Taken or untaken branch.
+        call: Direct call (frame setup included).
+        ret: Function return.
+        local_access: Load or store hitting an accelerator's local store.
+        host_mem_access: Load or store issued by the *host* core against
+            main memory (the host is assumed cached; this is an averaged
+            cost).
+        dma_setup: Fixed cost of issuing one DMA request (command queue
+            occupancy on the issuing core).
+        dma_latency: Latency from issue to first byte delivered.
+        dma_bytes_per_cycle: Sustained DMA bandwidth.
+        cache_probe: Software-cache lookup executed on the accelerator
+            (hash + tag compare), charged on hit and miss alike.
+        vtable_load: Loading a vtable slot (one dependent local access on
+            top of the object header load).
+        domain_probe: One comparison step while scanning the outer domain.
+        inner_domain_probe: One (id, address) pair check in the inner
+            domain.
+        word_extract: Extracting/inserting a sub-word byte on a
+            word-addressed machine (shift + mask).
+        thread_spawn: Launching an offload thread on an accelerator.
+        thread_join: Host-side cost of joining a finished offload thread.
+    """
+
+    alu: int = 1
+    branch: int = 1
+    call: int = 4
+    ret: int = 2
+    local_access: int = 2
+    host_mem_access: int = 40
+    dma_setup: int = 40
+    dma_latency: int = 200
+    dma_bytes_per_cycle: int = 8
+    cache_probe: int = 10
+    vtable_load: int = 2
+    domain_probe: int = 2
+    inner_domain_probe: int = 2
+    word_extract: int = 2
+    thread_spawn: int = 600
+    thread_join: int = 100
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of one simulated machine.
+
+    Attributes:
+        name: Identifier used in reports.
+        num_accelerators: Number of accelerator cores.
+        local_store_size: Bytes of scratch-pad memory per accelerator
+            (0 on shared-memory machines).
+        main_memory_size: Bytes of main (host) memory.
+        shared_memory: True when accelerators address main memory directly
+            (SMP); offload blocks then need no data-movement code.
+        shared_interconnect: True to serialise all DMA traffic through
+            one machine-wide channel (EIB/SCC-style) instead of giving
+            each accelerator a private channel.
+        word_addressed: True when memory addresses index words rather than
+            bytes (the Section 5 machines).
+        word_size: Bytes per addressable word when ``word_addressed``.
+        cost: The cycle cost model.
+    """
+
+    name: str
+    num_accelerators: int = 6
+    local_store_size: int = 256 * 1024
+    main_memory_size: int = 16 * 1024 * 1024
+    shared_memory: bool = False
+    shared_interconnect: bool = False
+    word_addressed: bool = False
+    word_size: int = 4
+    cost: CostModel = field(default_factory=CostModel)
+
+    def with_(self, **overrides: object) -> "MachineConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+CELL_LIKE = MachineConfig(
+    name="cell-like",
+    num_accelerators=6,
+    local_store_size=256 * 1024,
+    shared_memory=False,
+)
+
+SMP_UNIFORM = MachineConfig(
+    name="smp-uniform",
+    num_accelerators=5,
+    local_store_size=0,
+    shared_memory=True,
+    cost=CostModel(
+        host_mem_access=40,
+        dma_setup=0,
+        dma_latency=0,
+        dma_bytes_per_cycle=16,
+        thread_spawn=400,
+        thread_join=80,
+    ),
+)
+
+DSP_WORD = MachineConfig(
+    name="dsp-word",
+    num_accelerators=2,
+    local_store_size=64 * 1024,
+    word_addressed=True,
+    word_size=4,
+    cost=CostModel(
+        local_access=1,
+        word_extract=2,
+        # Word-addressed units (PS2 VU, TigerSHARC) couple the cores to
+        # fast single-cycle-class SRAM; the cost of sub-word access is
+        # the extract/insert ALU work, not memory latency.
+        host_mem_access=4,
+    ),
+)

@@ -1,0 +1,80 @@
+"""Simulated cores.
+
+A :class:`HostCore` plays the Cell PPE: it addresses main memory directly.
+An :class:`AcceleratorCore` plays an SPE: it owns a private local store
+and a tagged DMA engine, and (on non-shared-memory machines) can only
+reach main memory through that engine.  On shared-memory configurations
+accelerators address main memory directly, which is how the same compiled
+program ports across architectures (the paper's portability claim).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.clock import CoreClock
+from repro.machine.config import CostModel, MachineConfig
+from repro.machine.dma import DmaEngine
+from repro.machine.memory import MemorySpace
+from repro.machine.perf import PerfCounters
+
+
+class Core:
+    """Common state of any simulated core."""
+
+    def __init__(self, name: str, cost: CostModel, perf: PerfCounters):
+        self.name = name
+        self.cost = cost
+        self.perf = perf
+        self.clock = CoreClock()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, now={self.clock.now})"
+
+
+class HostCore(Core):
+    """The general-purpose host core with direct main-memory access."""
+
+    def __init__(self, main_memory: MemorySpace, cost: CostModel, perf: PerfCounters):
+        super().__init__("host", cost, perf)
+        self.main_memory = main_memory
+
+
+class AcceleratorCore(Core):
+    """An accelerator core with (optionally) a private local store.
+
+    Attributes:
+        index: Position among the machine's accelerators.
+        local_store: Scratch-pad memory, or None on shared-memory machines.
+        dma: The core's memory flow controller, or None when there is no
+            local store to transfer into.
+        shared_memory: Whether this core addresses main memory directly.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: MachineConfig,
+        main_memory: MemorySpace,
+        perf: PerfCounters,
+        interconnect: object = None,
+    ):
+        super().__init__(f"acc{index}", config.cost, perf)
+        self.index = index
+        self.shared_memory = config.shared_memory
+        self.main_memory = main_memory
+        self.local_store: Optional[MemorySpace] = None
+        self.dma: Optional[DmaEngine] = None
+        if config.local_store_size > 0:
+            granularity = config.word_size if config.word_addressed else 1
+            self.local_store = MemorySpace(
+                f"ls{index}", config.local_store_size, granularity
+            )
+            self.dma = DmaEngine(
+                local_store=self.local_store,
+                main_memory=main_memory,
+                cost=config.cost,
+                perf=perf,
+                name=f"dma{index}",
+                interconnect=interconnect,
+            )

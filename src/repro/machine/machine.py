@@ -1,0 +1,94 @@
+"""The assembled simulated machine."""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.cores import AcceleratorCore, HostCore
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import BumpAllocator, MemorySpace
+from repro.machine.perf import PerfCounters
+
+
+class Machine:
+    """One simulated system: main memory, a host core, accelerator cores.
+
+    All components share a single :class:`PerfCounters` sink so that
+    benchmarks can read machine-wide statistics with one call.
+
+    Example::
+
+        machine = Machine(CELL_LIKE)
+        acc = machine.accelerator(0)
+        t = acc.dma.get(tag=1, local_addr=0, outer_addr=0x1000,
+                        size=128, now=acc.clock.now)
+        acc.clock.sync_to(acc.dma.wait(1, t))
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.perf = PerfCounters()
+        granularity = config.word_size if config.word_addressed else 1
+        self.main_memory = MemorySpace("main", config.main_memory_size, granularity)
+        self.host = HostCore(self.main_memory, config.cost, self.perf)
+        self.interconnect = (
+            Interconnect(config.cost.dma_bytes_per_cycle, self.perf)
+            if config.shared_interconnect
+            else None
+        )
+        self.accelerators = [
+            AcceleratorCore(
+                i, config, self.main_memory, self.perf, self.interconnect
+            )
+            for i in range(config.num_accelerators)
+        ]
+        # Reserve low main memory for globals; the rest is heap.
+        self._heap = BumpAllocator(
+            base=config.main_memory_size // 4, limit=config.main_memory_size
+        )
+
+    def accelerator(self, index: int) -> AcceleratorCore:
+        """The ``index``-th accelerator core."""
+        if not 0 <= index < len(self.accelerators):
+            raise MachineError(
+                f"accelerator index {index} out of range "
+                f"0..{len(self.accelerators) - 1}"
+            )
+        return self.accelerators[index]
+
+    @property
+    def heap(self) -> BumpAllocator:
+        """Allocator over the main-memory heap region."""
+        return self._heap
+
+    def reset(self) -> None:
+        """Return the machine to its power-on state.
+
+        Memory contents are preserved only in the sense of being zeroed;
+        clocks, counters, DMA queues and the heap allocator all restart.
+        """
+        self.perf.reset()
+        self.host.clock.reset()
+        if self.interconnect is not None:
+            self.interconnect.reset()
+        self.main_memory.fill(0)
+        for acc in self.accelerators:
+            acc.clock.reset()
+            if acc.local_store is not None:
+                acc.local_store.fill(0)
+            if acc.dma is not None:
+                acc.dma.reset()
+        self._heap.reset()
+
+    def total_cycles(self) -> int:
+        """The latest clock across all cores — wall-clock of the run."""
+        latest = self.host.clock.now
+        for acc in self.accelerators:
+            latest = max(latest, acc.clock.now)
+        return latest
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(config={self.config.name!r}, "
+            f"accelerators={len(self.accelerators)})"
+        )

@@ -1,0 +1,174 @@
+"""Simulated memory spaces.
+
+A :class:`MemorySpace` is a named, bounded, byte-backed region with an
+*access granularity*: byte-addressed spaces allow any aligned scalar
+access, while word-addressed spaces (the Section 5 machines) only accept
+whole-word loads and stores — sub-word traffic must be synthesised by the
+compiler with extract/insert sequences, exactly the property the paper's
+hybrid ``__word``/``__byte`` pointer scheme is designed around.
+
+Addresses handled here are always *byte offsets* into the backing store;
+word-addressed pointer values are scaled by the code generator before they
+reach the memory system.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MemoryFault
+
+
+class MemorySpace:
+    """A bounded, byte-backed simulated memory.
+
+    Attributes:
+        name: Space identifier (``"main"``, ``"ls0"``, ...).
+        size: Capacity in bytes.
+        granularity: Smallest legal access, in bytes.  1 for
+            byte-addressed memories; the word size for word-addressed
+            memories.
+    """
+
+    def __init__(self, name: str, size: int, granularity: int = 1):
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        if granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {granularity}")
+        self.name = name
+        self.size = size
+        self.granularity = granularity
+        self._data = bytearray(size)
+
+    # ---------------------------------------------------------------- raw
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or address + nbytes > self.size:
+            raise MemoryFault(
+                f"access of {nbytes} bytes out of bounds", self.name, address
+            )
+        if self.granularity > 1:
+            if address % self.granularity or nbytes % self.granularity:
+                raise MemoryFault(
+                    f"sub-word access ({nbytes} bytes at misgranular address) "
+                    f"on a word-addressed memory (granularity "
+                    f"{self.granularity})",
+                    self.name,
+                    address,
+                )
+
+    def read(self, address: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` raw bytes starting at ``address``."""
+        self._check(address, nbytes)
+        return bytes(self._data[address : address + nbytes])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write raw bytes starting at ``address``."""
+        self._check(address, len(data))
+        self._data[address : address + len(data)] = data
+
+    def read_unchecked(self, address: int, nbytes: int) -> bytes:
+        """Read bypassing the granularity rule (bounds still enforced).
+
+        Used only by machine-internal agents (the DMA engine moves
+        arbitrary byte ranges regardless of CPU-visible addressing rules).
+        """
+        if address < 0 or address + nbytes > self.size:
+            raise MemoryFault(
+                f"access of {nbytes} bytes out of bounds", self.name, address
+            )
+        return bytes(self._data[address : address + nbytes])
+
+    def write_unchecked(self, address: int, data: bytes) -> None:
+        """Write bypassing the granularity rule (bounds still enforced)."""
+        if address < 0 or address + len(data) > self.size:
+            raise MemoryFault(
+                f"access of {len(data)} bytes out of bounds", self.name, address
+            )
+        self._data[address : address + len(data)] = data
+
+    # ------------------------------------------------------------- scalars
+
+    def load_uint(self, address: int, nbytes: int) -> int:
+        """Load an unsigned little-endian integer of ``nbytes`` bytes."""
+        return int.from_bytes(self.read(address, nbytes), "little")
+
+    def load_int(self, address: int, nbytes: int) -> int:
+        """Load a signed little-endian integer of ``nbytes`` bytes."""
+        return int.from_bytes(self.read(address, nbytes), "little", signed=True)
+
+    def store_uint(self, address: int, value: int, nbytes: int) -> None:
+        """Store the low ``nbytes`` bytes of ``value`` (two's complement)."""
+        mask = (1 << (8 * nbytes)) - 1
+        self.write(address, (value & mask).to_bytes(nbytes, "little"))
+
+    def load_f32(self, address: int) -> float:
+        return struct.unpack("<f", self.read(address, 4))[0]
+
+    def store_f32(self, address: int, value: float) -> None:
+        self.write(address, struct.pack("<f", value))
+
+    def load_f64(self, address: int) -> float:
+        return struct.unpack("<d", self.read(address, 8))[0]
+
+    def store_f64(self, address: int, value: float) -> None:
+        self.write(address, struct.pack("<d", value))
+
+    # --------------------------------------------------------------- misc
+
+    def fill(self, value: int = 0) -> None:
+        """Set every byte of the space to ``value``."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"fill value must be a byte, got {value}")
+        for i in range(self.size):
+            self._data[i] = value
+
+    def snapshot(self) -> bytes:
+        """Return an immutable copy of the full contents."""
+        return bytes(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemorySpace(name={self.name!r}, size={self.size}, "
+            f"granularity={self.granularity})"
+        )
+
+
+class BumpAllocator:
+    """A trivial linear allocator over a region of a memory space.
+
+    The simulated programs use static layout for most data; this allocator
+    covers the remaining cases (packing generated worlds into main memory,
+    carving stack/heap regions out of a local store).
+    """
+
+    def __init__(self, base: int, limit: int, alignment: int = 16):
+        if base < 0 or limit < base:
+            raise ValueError(f"bad allocator range [{base}, {limit})")
+        self.base = base
+        self.limit = limit
+        self.alignment = alignment
+        self._next = base
+
+    def allocate(self, nbytes: int, alignment: int | None = None) -> int:
+        """Reserve ``nbytes`` and return the base address of the block."""
+        align = alignment or self.alignment
+        start = (self._next + align - 1) // align * align
+        if start + nbytes > self.limit:
+            raise MemoryFault(
+                f"allocator exhausted ({nbytes} bytes requested, "
+                f"{self.limit - start} available)",
+                "<allocator>",
+                start,
+            )
+        self._next = start + nbytes
+        return start
+
+    @property
+    def used(self) -> int:
+        """Bytes consumed so far, from the region base."""
+        return self._next - self.base
+
+    def reset(self) -> None:
+        """Release everything allocated so far."""
+        self._next = self.base

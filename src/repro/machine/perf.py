@@ -1,0 +1,51 @@
+"""Performance counters.
+
+Every layer of the simulator (memory, DMA, interpreter, software caches,
+dispatch machinery) increments named counters here.  Benchmarks read them
+to report the quantities the paper talks about: virtual calls per frame,
+bytes moved between memory spaces, domain search steps, cache hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+
+class PerfCounters:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts[name]
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot, sorted by counter name."""
+        return dict(sorted(self._counts.items()))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` as a float; 0.0 when undefined."""
+        denom = self._counts[denominator]
+        if denom == 0:
+            return 0.0
+        return self._counts[numerator] / denom
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"PerfCounters({inner})"

@@ -1,0 +1,48 @@
+"""The Offload runtime library.
+
+Everything an offloaded program needs at run time on a machine with
+multiple memory spaces:
+
+* software caches over outer memory (:mod:`repro.runtime.softcache`),
+* portable accessor classes for bulk and streamed transfers
+  (:mod:`repro.runtime.accessors`),
+* the outer/inner domain machinery for virtual dispatch across memory
+  spaces (:mod:`repro.runtime.dispatch`),
+* a dynamic DMA race checker (:mod:`repro.runtime.racecheck`).
+
+These classes are used two ways, mirroring the paper: directly from
+hand-written "intrinsics-style" host code (Figure 1), and as the lowering
+targets of the Offload compiler (Sections 3-4).
+"""
+
+from repro.runtime.accessors import (
+    ArrayAccessor,
+    DirectAccessor,
+    StreamAccessor,
+    make_array_accessor,
+)
+from repro.runtime.dispatch import DomainTable, InnerEntry
+from repro.runtime.racecheck import DmaRaceChecker, RaceRecord
+from repro.runtime.softcache import (
+    DirectMappedCache,
+    SetAssociativeCache,
+    SoftwareCache,
+    VictimCache,
+    make_cache,
+)
+
+__all__ = [
+    "ArrayAccessor",
+    "DirectAccessor",
+    "DirectMappedCache",
+    "DmaRaceChecker",
+    "DomainTable",
+    "InnerEntry",
+    "RaceRecord",
+    "SetAssociativeCache",
+    "SoftwareCache",
+    "StreamAccessor",
+    "VictimCache",
+    "make_array_accessor",
+    "make_cache",
+]

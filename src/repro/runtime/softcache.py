@@ -1,0 +1,363 @@
+"""Software caches over outer memory.
+
+On a machine without coherent caches between an accelerator and main
+memory, every outer access would otherwise pay full DMA latency.  A
+software cache keeps recently used lines of main memory in a region of
+the local store and services repeated accesses from there.  The paper
+notes that Codeplay ship *several* cache implementations "favouring
+different types of application behaviour" and that choosing between them
+is a profiling decision left to the programmer; this module provides
+three with genuinely different behaviour:
+
+* :class:`DirectMappedCache` — minimum probe cost, conflict-prone.
+* :class:`SetAssociativeCache` — LRU within a set, fewer conflicts at a
+  slightly higher probe cost.
+* :class:`VictimCache` — direct-mapped plus a small fully associative
+  victim buffer that absorbs ping-pong conflict misses.
+
+All caches are write-back with per-line dirty bits, and must be
+``flush``-ed before the host may observe stores (there is no coherence —
+that is the point).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.cores import AcceleratorCore
+
+
+class _Line:
+    """One cache line's metadata; data lives in the local store."""
+
+    __slots__ = ("tag", "valid", "dirty", "last_used")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.last_used = 0
+
+
+class SoftwareCache:
+    """Common machinery for the concrete cache organisations.
+
+    Args:
+        core: The accelerator this cache runs on.
+        local_base: Byte address in the local store where line storage
+            begins (``num_lines * line_size`` bytes are used).
+        line_size: Bytes per line (power of two).
+        num_lines: Total number of lines (power of two).
+        write_through: When True, stores propagate to main memory
+            immediately (lines are never dirty).
+    """
+
+    #: DMA tag reserved for cache traffic.
+    CACHE_TAG = 30
+
+    def __init__(
+        self,
+        core: AcceleratorCore,
+        local_base: int,
+        line_size: int = 128,
+        num_lines: int = 64,
+        write_through: bool = False,
+    ):
+        if core.dma is None or core.local_store is None:
+            raise MachineError(
+                "software caches require an accelerator with a local store"
+            )
+        if line_size & (line_size - 1) or line_size <= 0:
+            raise ValueError(f"line_size must be a power of two, got {line_size}")
+        if num_lines & (num_lines - 1) or num_lines <= 0:
+            raise ValueError(f"num_lines must be a power of two, got {num_lines}")
+        if local_base + line_size * num_lines > core.local_store.size:
+            raise MachineError("cache line storage does not fit in the local store")
+        self.core = core
+        self.local_base = local_base
+        self.line_size = line_size
+        self.num_lines = num_lines
+        self.write_through = write_through
+        self._lines = [_Line() for _ in range(num_lines)]
+        self._access_counter = 0
+
+    # -------------------------------------------------------- organisation
+
+    def _candidate_slots(self, line_number: int) -> list[int]:
+        """Slots that may hold the given main-memory line number."""
+        raise NotImplementedError
+
+    def _victim_slot(self, line_number: int) -> int:
+        """Slot to evict when all candidates are occupied."""
+        raise NotImplementedError
+
+    def _prepare_victim(self, line_number: int, now: int) -> tuple[int, int]:
+        """Choose the eviction slot, doing any time-charged shuffling.
+
+        Organisations that move lines around on eviction (the victim
+        cache) override this; the default just picks a slot.
+        """
+        return self._victim_slot(line_number), now
+
+    # ------------------------------------------------------------ internals
+
+    def _slot_local_addr(self, slot: int) -> int:
+        return self.local_base + slot * self.line_size
+
+    def _touch(self, line: _Line) -> None:
+        self._access_counter += 1
+        line.last_used = self._access_counter
+
+    def _probe(self, line_number: int, now: int) -> tuple[int | None, int]:
+        """Look the line up; returns (slot or None, time after probe)."""
+        now += self.core.cost.cache_probe
+        self.core.perf.add("softcache.probes")
+        for slot in self._candidate_slots(line_number):
+            line = self._lines[slot]
+            if line.valid and line.tag == line_number:
+                self._touch(line)
+                self.core.perf.add("softcache.hits")
+                return slot, now
+        self.core.perf.add("softcache.misses")
+        return None, now
+
+    def _writeback(self, slot: int, now: int) -> int:
+        """Write a dirty line back to main memory (blocking)."""
+        line = self._lines[slot]
+        dma = self.core.dma
+        assert dma is not None
+        now = dma.put(
+            self.CACHE_TAG,
+            self._slot_local_addr(slot),
+            line.tag * self.line_size,
+            self.line_size,
+            now,
+        )
+        now = dma.wait(self.CACHE_TAG, now)
+        self.core.perf.add("softcache.writebacks")
+        line.dirty = False
+        return now
+
+    def _fill(self, line_number: int, now: int) -> tuple[int, int]:
+        """Bring a line in from main memory; returns (slot, time)."""
+        slot, now = self._prepare_victim(line_number, now)
+        line = self._lines[slot]
+        if line.valid and line.dirty:
+            now = self._writeback(slot, now)
+        dma = self.core.dma
+        assert dma is not None
+        now = dma.get(
+            self.CACHE_TAG,
+            self._slot_local_addr(slot),
+            line_number * self.line_size,
+            self.line_size,
+            now,
+        )
+        now = dma.wait(self.CACHE_TAG, now)
+        line.tag = line_number
+        line.valid = True
+        line.dirty = False
+        self._touch(line)
+        self.core.perf.add("softcache.fills")
+        return slot, now
+
+    def _ensure(self, line_number: int, now: int) -> tuple[int, int]:
+        slot, now = self._probe(line_number, now)
+        if slot is None:
+            slot, now = self._fill(line_number, now)
+        return slot, now
+
+    # --------------------------------------------------------------- API
+
+    def load(self, outer_addr: int, size: int, now: int) -> tuple[bytes, int]:
+        """Read ``size`` bytes of outer memory through the cache.
+
+        Returns ``(data, time_after)``.  Accesses may span lines.
+        """
+        if size <= 0:
+            raise ValueError(f"load size must be positive, got {size}")
+        parts: list[bytes] = []
+        addr = outer_addr
+        remaining = size
+        ls = self.core.local_store
+        assert ls is not None
+        while remaining > 0:
+            line_number = addr // self.line_size
+            offset = addr % self.line_size
+            chunk = min(remaining, self.line_size - offset)
+            slot, now = self._ensure(line_number, now)
+            parts.append(
+                ls.read_unchecked(self._slot_local_addr(slot) + offset, chunk)
+            )
+            addr += chunk
+            remaining -= chunk
+        return b"".join(parts), now
+
+    def store(self, outer_addr: int, data: bytes, now: int) -> int:
+        """Write bytes to outer memory through the cache; returns time."""
+        if not data:
+            raise ValueError("store of zero bytes")
+        addr = outer_addr
+        view = memoryview(data)
+        ls = self.core.local_store
+        assert ls is not None
+        while view:
+            line_number = addr // self.line_size
+            offset = addr % self.line_size
+            chunk = min(len(view), self.line_size - offset)
+            slot, now = self._ensure(line_number, now)
+            ls.write_unchecked(
+                self._slot_local_addr(slot) + offset, bytes(view[:chunk])
+            )
+            line = self._lines[slot]
+            if self.write_through:
+                line.dirty = True
+                now = self._writeback(slot, now)
+            else:
+                line.dirty = True
+            addr += chunk
+            view = view[chunk:]
+        return now
+
+    def flush(self, now: int) -> int:
+        """Write back every dirty line; returns the time when done."""
+        for slot, line in enumerate(self._lines):
+            if line.valid and line.dirty:
+                now = self._writeback(slot, now)
+        return now
+
+    def invalidate(self) -> None:
+        """Drop all cached lines without writing anything back."""
+        for line in self._lines:
+            line.valid = False
+            line.dirty = False
+            line.tag = -1
+
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit, machine-wide since last reset."""
+        return self.core.perf.ratio("softcache.hits", "softcache.probes")
+
+
+class DirectMappedCache(SoftwareCache):
+    """Each main-memory line maps to exactly one slot."""
+
+    def _candidate_slots(self, line_number: int) -> list[int]:
+        return [line_number % self.num_lines]
+
+    def _victim_slot(self, line_number: int) -> int:
+        return line_number % self.num_lines
+
+
+class SetAssociativeCache(SoftwareCache):
+    """N-way set associative with LRU replacement within a set."""
+
+    def __init__(self, *args: object, ways: int = 4, **kwargs: object):
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if ways <= 0 or self.num_lines % ways:
+            raise ValueError(
+                f"ways ({ways}) must divide num_lines ({self.num_lines})"
+            )
+        self.ways = ways
+        self.num_sets = self.num_lines // ways
+
+    def _set_slots(self, line_number: int) -> list[int]:
+        set_index = line_number % self.num_sets
+        return [set_index * self.ways + way for way in range(self.ways)]
+
+    def _candidate_slots(self, line_number: int) -> list[int]:
+        return self._set_slots(line_number)
+
+    def _victim_slot(self, line_number: int) -> int:
+        slots = self._set_slots(line_number)
+        for slot in slots:
+            if not self._lines[slot].valid:
+                return slot
+        return min(slots, key=lambda s: self._lines[s].last_used)
+
+
+class VictimCache(DirectMappedCache):
+    """Direct-mapped with a small fully associative victim buffer.
+
+    The last ``victim_slots`` slots of line storage act as the victim
+    buffer; lines evicted from the direct-mapped region move there
+    instead of being dropped, so alternating accesses to two conflicting
+    lines stop thrashing main memory.
+    """
+
+    def __init__(self, *args: object, victim_slots: int = 4, **kwargs: object):
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if not 0 < victim_slots < self.num_lines:
+            raise ValueError(
+                f"victim_slots ({victim_slots}) must be in 1.."
+                f"{self.num_lines - 1}"
+            )
+        self.victim_slots = victim_slots
+        self.primary_lines = self.num_lines - victim_slots
+
+    def _primary_slot(self, line_number: int) -> int:
+        return line_number % self.primary_lines
+
+    def _victim_range(self) -> range:
+        return range(self.primary_lines, self.num_lines)
+
+    def _candidate_slots(self, line_number: int) -> list[int]:
+        return [self._primary_slot(line_number), *self._victim_range()]
+
+    def _victim_slot(self, line_number: int) -> int:
+        return self._primary_slot(line_number)
+
+    def _prepare_victim(self, line_number: int, now: int) -> tuple[int, int]:
+        # Evict from the primary slot, but first move its current
+        # occupant into the victim buffer (displacing the LRU victim,
+        # which is written back if dirty *before* it is overwritten).
+        primary = self._primary_slot(line_number)
+        if self._lines[primary].valid:
+            dest = min(
+                self._victim_range(), key=lambda s: self._lines[s].last_used
+            )
+            dest_line = self._lines[dest]
+            if dest_line.valid and dest_line.dirty:
+                now = self._writeback(dest, now)
+            self._move_line(primary, dest)
+        return primary, now
+
+    def _move_line(self, src_slot: int, dest_slot: int) -> None:
+        ls = self.core.local_store
+        assert ls is not None
+        data = ls.read_unchecked(self._slot_local_addr(src_slot), self.line_size)
+        ls.write_unchecked(self._slot_local_addr(dest_slot), data)
+        src = self._lines[src_slot]
+        dst = self._lines[dest_slot]
+        dst.tag, dst.valid, dst.dirty, dst.last_used = (
+            src.tag,
+            src.valid,
+            src.dirty,
+            src.last_used,
+        )
+        src.valid = False
+        src.dirty = False
+        src.tag = -1
+        self.core.perf.add("softcache.victim_moves")
+
+
+def make_cache(
+    kind: str,
+    core: AcceleratorCore,
+    local_base: int,
+    line_size: int = 128,
+    num_lines: int = 64,
+    **kwargs: object,
+) -> SoftwareCache:
+    """Construct a cache by name: ``direct``, ``setassoc`` or ``victim``.
+
+    This is the programmer-facing selection knob the paper describes:
+    "The programmer must decide, based on profiling, which cache is most
+    suitable for a given offload."
+    """
+    kinds = {
+        "direct": DirectMappedCache,
+        "setassoc": SetAssociativeCache,
+        "victim": VictimCache,
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown cache kind {kind!r}; choose from {sorted(kinds)}")
+    return kinds[kind](core, local_base, line_size, num_lines, **kwargs)

@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.run program.om`` — compile and execute an
+  OffloadMini source file on a chosen target.
+* ``python -m repro.tools.check program.om`` — compile-only, run the
+  static DMA race analysis and the annotation-requirement report.
+"""

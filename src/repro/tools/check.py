@@ -1,0 +1,86 @@
+"""Static checks for an OffloadMini source file.
+
+Usage::
+
+    python -m repro.tools.check program.om [--target cell|smp|dsp]
+
+Runs the full front end and lowering (so all type/space/addressing
+errors are reported), then:
+
+* the static DMA race analysis over every accelerator function, and
+* the annotation-requirement report per offload block (which virtual
+  methods each offload's ``domain(...)`` must list, and which are
+  missing).
+
+Exit status: 0 clean, 1 compile error, 3 findings reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.annotations import report_for_program
+from repro.analysis.static_races import find_races_in_program
+from repro.compiler.driver import CompileOptions, analyze_source, compile_program
+from repro.errors import CompileError
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+
+TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("source", help="OffloadMini source file")
+    parser.add_argument(
+        "--target", choices=sorted(TARGETS), default="cell",
+        help="machine configuration (default: cell)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    config = TARGETS[args.target]
+    try:
+        program = compile_program(
+            source, config, CompileOptions(), filename=args.source
+        )
+        info = analyze_source(source, filename=args.source)
+    except CompileError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        return 1
+    findings = 0
+    races = find_races_in_program(program.accel_functions())
+    for race in races:
+        print(f"race: {race.describe()}")
+        findings += 1
+    for annotation_report in report_for_program(info):
+        print(
+            f"offload #{annotation_report.offload_id}: "
+            f"{annotation_report.virtual_call_sites} virtual call site(s), "
+            f"{annotation_report.count} required annotation(s)"
+        )
+        for name in annotation_report.required:
+            print(f"    requires {name}")
+        for name in annotation_report.missing:
+            print(f"    MISSING from domain(...): {name}")
+            findings += 1
+    if findings:
+        print(f"-- {findings} finding(s)", file=sys.stderr)
+        return 3
+    print("-- clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

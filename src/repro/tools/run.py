@@ -1,0 +1,106 @@
+"""Compile and run an OffloadMini source file.
+
+Usage::
+
+    python -m repro.tools.run program.om [--target cell|smp|dsp]
+        [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
+        [--wordaddr hybrid|emulate] [--dump-ir] [--perf] [--record-races]
+
+Exit status: 0 on success, 1 on compile errors, 2 on runtime traps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.errors import CompileError, ReproError
+from repro.ir.printer import format_program
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.vm.interpreter import RunOptions, run_program
+
+TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("source", help="OffloadMini source file")
+    parser.add_argument(
+        "--target", choices=sorted(TARGETS), default="cell",
+        help="machine configuration (default: cell)",
+    )
+    parser.add_argument("--optimize", action="store_true",
+                        help="run the IR optimiser")
+    parser.add_argument("--demand-load", action="store_true",
+                        help="enable on-demand code loading")
+    parser.add_argument(
+        "--cache", choices=["none", "direct", "setassoc", "victim"],
+        default="none",
+        help="default software cache for un-annotated offloads",
+    )
+    parser.add_argument(
+        "--wordaddr", choices=["hybrid", "emulate"], default="hybrid",
+        help="Section 5 addressing mode on word-addressed targets",
+    )
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="print the compiled IR instead of running")
+    parser.add_argument("--perf", action="store_true",
+                        help="print performance counters after the run")
+    parser.add_argument(
+        "--record-races", action="store_true",
+        help="record DMA races instead of aborting on the first one",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    options = CompileOptions(
+        wordaddr_mode=args.wordaddr,
+        default_cache=args.cache,
+        optimize=args.optimize,
+        demand_load=args.demand_load,
+    )
+    config = TARGETS[args.target]
+    try:
+        program = compile_program(source, config, options, filename=args.source)
+    except CompileError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        return 1
+    if args.dump_ir:
+        print(format_program(program))
+        return 0
+    run_options = RunOptions(
+        racecheck="record" if args.record_races else "raise"
+    )
+    try:
+        result = run_program(program, Machine(config), run_options)
+    except ReproError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 2
+    for core, value in result.output:
+        print(f"[{core}] {value}")
+    print(f"-- {result.cycles} simulated cycles on {config.name}", file=sys.stderr)
+    if result.races:
+        print(f"-- {len(result.races)} DMA race(s) recorded:", file=sys.stderr)
+        for race in result.races:
+            print(f"   {race.describe()}", file=sys.stderr)
+    if args.perf:
+        for name, value in sorted(result.perf().items()):
+            print(f"   {name:32s} {value}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

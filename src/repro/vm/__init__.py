@@ -1,0 +1,11 @@
+"""Execution engine: runs IR programs on the simulated machine.
+
+The interpreter is deterministic: each logical thread (the host plus one
+per offload launch) executes to completion with its own cycle counter;
+parallelism is modelled by clock combination at launch/join points, so
+measured cycle counts are exactly reproducible run to run.
+"""
+
+from repro.vm.interpreter import Interpreter, RunOptions, RunResult, run_program
+
+__all__ = ["Interpreter", "RunOptions", "RunResult", "run_program"]

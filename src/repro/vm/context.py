@@ -1,0 +1,194 @@
+"""Thread contexts and outer-access strategies.
+
+A :class:`ThreadContext` is one logical thread: the host thread, or one
+offload thread pinned to an accelerator core.  It carries the local
+cycle counter, the frame stack allocator, and — for cross-memory-space
+accelerator threads — the *outer strategy* that implements accesses to
+host memory:
+
+* :class:`RawDmaStrategy` — every outer access becomes a blocking DMA
+  through a small bounce buffer: the paper's unoptimised baseline, two
+  dependent high-latency transfers per pointer-chase iteration.
+* :class:`CachedStrategy` — accesses go through one of the software
+  caches (Section 4.2), chosen per offload block by the ``cache(...)``
+  annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LocalStoreOverflow, MachineError
+from repro.machine.cores import AcceleratorCore, Core
+from repro.machine.memory import MemorySpace
+from repro.runtime.softcache import SoftwareCache, make_cache
+
+#: Bytes reserved at the top of the local store for the bounce buffer.
+SCRATCH_BYTES = 512
+
+#: DMA tag used by the raw strategy's bounce transfers.
+RAW_TAG = 31
+
+
+class OuterStrategy:
+    """Interface for accelerator accesses to host memory."""
+
+    def load(self, address: int, size: int, now: int) -> tuple[bytes, int]:
+        raise NotImplementedError
+
+    def store(self, address: int, data: bytes, now: int) -> int:
+        raise NotImplementedError
+
+    def flush(self, now: int) -> int:
+        """Make all buffered stores visible in main memory."""
+        return now
+
+
+class RawDmaStrategy(OuterStrategy):
+    """Blocking bounce-buffer DMA per access (uncached)."""
+
+    def __init__(self, core: AcceleratorCore, scratch_addr: int):
+        if core.dma is None or core.local_store is None:
+            raise MachineError("raw DMA strategy requires a local store")
+        self.core = core
+        self.scratch_addr = scratch_addr
+
+    def load(self, address: int, size: int, now: int) -> tuple[bytes, int]:
+        dma = self.core.dma
+        ls = self.core.local_store
+        assert dma is not None and ls is not None
+        parts: list[bytes] = []
+        remaining = size
+        cursor = address
+        while remaining > 0:
+            chunk = min(remaining, SCRATCH_BYTES)
+            now = dma.get(RAW_TAG, self.scratch_addr, cursor, chunk, now)
+            now = dma.wait(RAW_TAG, now)
+            parts.append(ls.read_unchecked(self.scratch_addr, chunk))
+            cursor += chunk
+            remaining -= chunk
+        self.core.perf.add("outer.raw_loads")
+        return b"".join(parts), now
+
+    def store(self, address: int, data: bytes, now: int) -> int:
+        dma = self.core.dma
+        ls = self.core.local_store
+        assert dma is not None and ls is not None
+        view = memoryview(data)
+        cursor = address
+        while view:
+            chunk = min(len(view), SCRATCH_BYTES)
+            ls.write_unchecked(self.scratch_addr, bytes(view[:chunk]))
+            now = dma.put(RAW_TAG, self.scratch_addr, cursor, chunk, now)
+            now = dma.wait(RAW_TAG, now)
+            cursor += chunk
+            view = view[chunk:]
+        self.core.perf.add("outer.raw_stores")
+        return now
+
+
+class CachedStrategy(OuterStrategy):
+    """Outer accesses through a software cache."""
+
+    def __init__(self, cache: SoftwareCache):
+        self.cache = cache
+
+    def load(self, address: int, size: int, now: int) -> tuple[bytes, int]:
+        return self.cache.load(address, size, now)
+
+    def store(self, address: int, data: bytes, now: int) -> int:
+        return self.cache.store(address, data, now)
+
+    def flush(self, now: int) -> int:
+        return self.cache.flush(now)
+
+
+#: Default software-cache geometry for offload blocks with a
+#: ``cache(...)`` annotation.
+CACHE_LINE_SIZE = 128
+CACHE_NUM_LINES = 64
+
+
+def build_strategy(
+    core: AcceleratorCore, cache_kind: Optional[str]
+) -> tuple[OuterStrategy, int]:
+    """Create the outer strategy for one offload thread.
+
+    Returns ``(strategy, stack_limit)`` — the local-store layout is
+    computed here: frames grow from 0; the bounce buffer sits at the
+    top; cache line storage (when caching) sits just below it.
+    """
+    ls = core.local_store
+    assert ls is not None
+    scratch_addr = ls.size - SCRATCH_BYTES
+    if cache_kind is None:
+        return RawDmaStrategy(core, scratch_addr), scratch_addr
+    cache_bytes = CACHE_LINE_SIZE * CACHE_NUM_LINES
+    cache_base = scratch_addr - cache_bytes
+    cache = make_cache(
+        cache_kind,
+        core,
+        cache_base,
+        line_size=CACHE_LINE_SIZE,
+        num_lines=CACHE_NUM_LINES,
+    )
+    return CachedStrategy(cache), cache_base
+
+
+class FrameStack:
+    """A simple grow-up frame allocator over a memory region."""
+
+    def __init__(self, base: int, limit: int, space_name: str):
+        self.base = base
+        self.limit = limit
+        self.space_name = space_name
+        self._sp = base
+
+    def push(self, size: int, alignment: int = 16) -> int:
+        aligned = (self._sp + alignment - 1) // alignment * alignment
+        if aligned + size > self.limit:
+            raise LocalStoreOverflow(
+                f"frame of {size} bytes overflows the {self.space_name} "
+                f"stack (sp={aligned:#x}, limit={self.limit:#x}); offloaded "
+                f"call chains must fit in scratch-pad memory"
+            )
+        self._sp = aligned + size
+        return aligned
+
+    def pop(self, to: int) -> None:
+        self._sp = to
+
+    @property
+    def sp(self) -> int:
+        return self._sp
+
+
+class ThreadContext:
+    """One logical thread of execution."""
+
+    def __init__(
+        self,
+        core: Core,
+        main_memory: MemorySpace,
+        stack: FrameStack,
+        now: int,
+        strategy: Optional[OuterStrategy] = None,
+        offload_id: int = -1,
+    ):
+        self.core = core
+        self.main_memory = main_memory
+        self.stack = stack
+        self.now = now
+        self.strategy = strategy
+        self.offload_id = offload_id
+        self.is_accel = isinstance(core, AcceleratorCore)
+
+    @property
+    def local_store(self) -> Optional[MemorySpace]:
+        if isinstance(self.core, AcceleratorCore):
+            return self.core.local_store
+        return None
+
+    @property
+    def name(self) -> str:
+        return self.core.name

@@ -1,0 +1,748 @@
+"""The IR interpreter with the machine cost model.
+
+Executes a compiled :class:`repro.ir.IRProgram` on a
+:class:`repro.machine.Machine`.  Every instruction charges simulated
+cycles to the executing thread; memory instructions route through the
+right memory space (and, for cross-space outer accesses, through the
+offload's transfer strategy).  Offload launches run the accelerator
+thread to completion eagerly — one legal interleaving of the real
+concurrency — while clock arithmetic models the overlap, so joins see
+``max(host time, accelerator finish time)`` exactly as in Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import MachineError, MissingDuplicateError, RuntimeTrap
+from repro.ir.instructions import (
+    AccSpace,
+    BinOp,
+    CJump,
+    Call,
+    Const,
+    Copy,
+    DomainCall,
+    Extract,
+    FrameAddr,
+    GlobalAddr,
+    ICall,
+    Insert,
+    Intrinsic,
+    Jump,
+    Load,
+    Move,
+    OffloadJoin,
+    OffloadLaunch,
+    Ret,
+    Store,
+    Trap,
+    UnOp,
+)
+from repro.ir.module import IRFunction, IRProgram
+from repro.machine.cores import AcceleratorCore
+from repro.machine.machine import Machine
+from repro.runtime.racecheck import DmaRaceChecker
+from repro.vm.context import FrameStack, ThreadContext, build_strategy
+
+#: Default size of the host call stack carved out of main memory.
+HOST_STACK_BYTES = 1 << 20
+
+#: Offset applied to the host stack base so that stack addresses do not
+#: systematically alias the low data segment in direct-mapped software
+#: caches (the heap base is a large power of two, which would otherwise
+#: pin every captured variable onto cache slot 0 alongside the vtables).
+STACK_COLOR_OFFSET = 17 * 128
+
+#: DMA tag used by accessor bulk transfers.
+ACCESSOR_TAG = 28
+
+_U32 = 0xFFFFFFFF
+
+
+def _wrap_signed(value: int) -> int:
+    return ((value + 0x80000000) & _U32) - 0x80000000
+
+def _wrap_unsigned(value: int) -> int:
+    return value & _U32
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise RuntimeTrap("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _int_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise RuntimeTrap("integer remainder by zero")
+    return a - _int_div(a, b) * b
+
+
+@dataclass
+class RunOptions:
+    """Execution knobs.
+
+    Attributes:
+        racecheck: Attach the dynamic DMA race checker to every
+            accelerator's DMA engine; ``"raise"`` aborts on the first
+            race, ``"record"`` collects them on the result, None
+            disables checking.
+        check_dma_discipline: Trap local-store reads that overlap a DMA
+            get still in flight (read-before-wait bugs).
+        max_instructions: Runaway-program guard.
+    """
+
+    racecheck: Optional[str] = "raise"
+    check_dma_discipline: bool = True
+    max_instructions: int = 200_000_000
+
+
+@dataclass
+class Handle:
+    """A launched offload thread."""
+
+    offload_id: int
+    accel_index: int
+    finish_time: int
+    joined: bool = False
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    return_value: object
+    output: list[tuple[str, object]] = field(default_factory=list)
+    cycles: int = 0
+    host_cycles: int = 0
+    machine: Optional[Machine] = None
+    races: list = field(default_factory=list)
+
+    @property
+    def printed(self) -> list[object]:
+        """Just the printed values, in order."""
+        return [value for _, value in self.output]
+
+    def perf(self) -> dict[str, int]:
+        assert self.machine is not None
+        return self.machine.perf.as_dict()
+
+
+class Interpreter:
+    """Executes one program on one machine."""
+
+    def __init__(
+        self,
+        program: IRProgram,
+        machine: Machine,
+        options: Optional[RunOptions] = None,
+    ):
+        if program.target_name != machine.config.name:
+            raise MachineError(
+                f"program compiled for {program.target_name!r} cannot run "
+                f"on machine {machine.config.name!r}"
+            )
+        self.program = program
+        self.machine = machine
+        self.options = options or RunOptions()
+        self.output: list[tuple[str, object]] = []
+        self.handles: list[Handle] = []
+        self._instructions = 0
+        self._accel_available = [0] * len(machine.accelerators)
+        #: (accelerator index, function name) pairs whose code has been
+        #: uploaded on demand; persists across offload launches because
+        #: a loaded code image stays resident on the core.
+        self._resident_code: set[tuple[int, str]] = set()
+        self._racecheckers: list[DmaRaceChecker] = []
+        if self.options.racecheck is not None:
+            for accelerator in machine.accelerators:
+                if accelerator.dma is not None:
+                    checker = DmaRaceChecker(mode=self.options.racecheck)
+                    checker.attach(accelerator.dma)
+                    self._racecheckers.append(checker)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def load_image(self) -> None:
+        """Write the compiled program's static data into main memory."""
+        heap_base = self.machine.heap.base
+        if self.program.data_end > heap_base:
+            raise MachineError(
+                f"program static data ({self.program.data_end} bytes) "
+                f"overlaps the heap/stack region starting at "
+                f"{heap_base:#x}; use a machine with more main memory "
+                f"(MachineConfig.main_memory_size)"
+            )
+        for address, data in self.program.init_image:
+            self.machine.main_memory.write_unchecked(address, data)
+
+    def run(self, entry: Optional[str] = None) -> RunResult:
+        """Load the image and execute ``entry`` (default: main)."""
+        self.load_image()
+        stack_base = (
+            self.machine.heap.allocate(HOST_STACK_BYTES + STACK_COLOR_OFFSET)
+            + STACK_COLOR_OFFSET
+        )
+        host_ctx = ThreadContext(
+            core=self.machine.host,
+            main_memory=self.machine.main_memory,
+            stack=FrameStack(
+                stack_base, stack_base + HOST_STACK_BYTES, "host"
+            ),
+            now=self.machine.host.clock.now,
+        )
+        entry_name = entry or self.program.entry
+        value = self._exec_function(
+            self.program.function(entry_name), [], host_ctx
+        )
+        self.machine.host.clock.sync_to(host_ctx.now)
+        races = [r for checker in self._racecheckers for r in checker.races]
+        return RunResult(
+            return_value=value,
+            output=self.output,
+            cycles=self.machine.total_cycles(),
+            host_cycles=self.machine.host.clock.now,
+            machine=self.machine,
+            races=races,
+        )
+
+    # --------------------------------------------------------- memory ops
+
+    def _memory_for(self, space: AccSpace, ctx: ThreadContext):
+        if space is AccSpace.MAIN:
+            return ctx.main_memory
+        if space is AccSpace.LOCAL:
+            local = ctx.local_store
+            if local is None:
+                raise RuntimeTrap(
+                    f"local-store access on core {ctx.name} which has none"
+                )
+            return local
+        raise AssertionError("OUTER is handled by the strategy")
+
+    def _access_cost(self, space: AccSpace, ctx: ThreadContext) -> int:
+        if space is AccSpace.LOCAL:
+            return ctx.core.cost.local_access
+        return ctx.core.cost.host_mem_access
+
+    def _read_mem(
+        self, space: AccSpace, address: int, size: int, ctx: ThreadContext
+    ) -> bytes:
+        if space is AccSpace.OUTER:
+            assert ctx.strategy is not None
+            data, ctx.now = ctx.strategy.load(address, size, ctx.now)
+            ctx.core.perf.add("outer.loads")
+            ctx.core.perf.add("outer.bytes_read", size)
+            return data
+        memory = self._memory_for(space, ctx)
+        if (
+            space is AccSpace.LOCAL
+            and self.options.check_dma_discipline
+            and isinstance(ctx.core, AcceleratorCore)
+            and ctx.core.dma is not None
+            and ctx.core.dma.in_flight
+        ):
+            conflict = ctx.core.dma.pending_local_conflict(address, size)
+            if conflict is not None:
+                raise RuntimeTrap(
+                    f"local store read at {address:#x} overlaps in-flight "
+                    f"{conflict.describe()}; missing dma_wait"
+                )
+        ctx.now += self._access_cost(space, ctx)
+        return memory.read_unchecked(address, size)
+
+    def _write_mem(
+        self, space: AccSpace, address: int, data: bytes, ctx: ThreadContext
+    ) -> None:
+        if space is AccSpace.OUTER:
+            assert ctx.strategy is not None
+            ctx.now = ctx.strategy.store(address, data, ctx.now)
+            ctx.core.perf.add("outer.stores")
+            ctx.core.perf.add("outer.bytes_written", len(data))
+            return
+        memory = self._memory_for(space, ctx)
+        ctx.now += self._access_cost(space, ctx)
+        memory.write_unchecked(address, data)
+
+    @staticmethod
+    def _decode(data: bytes, signed: bool, is_float: bool) -> object:
+        if is_float:
+            if len(data) == 4:
+                return struct.unpack("<f", data)[0]
+            return struct.unpack("<d", data)[0]
+        return int.from_bytes(data, "little", signed=signed)
+
+    @staticmethod
+    def _encode(value: object, size: int, is_float: bool) -> bytes:
+        if is_float:
+            if size == 4:
+                return struct.pack("<f", float(value))  # type: ignore[arg-type]
+            return struct.pack("<d", float(value))  # type: ignore[arg-type]
+        mask = (1 << (8 * size)) - 1
+        return (int(value) & mask).to_bytes(size, "little")  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ arithmetic
+
+    def _binop(self, instr: BinOp, a: object, b: object) -> object:
+        op = instr.op
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            table = {
+                "==": a == b,
+                "!=": a != b,
+                "<": a < b,  # type: ignore[operator]
+                "<=": a <= b,  # type: ignore[operator]
+                ">": a > b,  # type: ignore[operator]
+                ">=": a >= b,  # type: ignore[operator]
+            }
+            return 1 if table[op] else 0
+        if instr.float_op:
+            fa, fb = float(a), float(b)  # type: ignore[arg-type]
+            if op == "+":
+                return fa + fb
+            if op == "-":
+                return fa - fb
+            if op == "*":
+                return fa * fb
+            if op == "/":
+                if fb == 0.0:
+                    return math.inf if fa > 0 else (-math.inf if fa < 0 else math.nan)
+                return fa / fb
+            raise AssertionError(f"float op {op}")
+        ia, ib = int(a), int(b)  # type: ignore[arg-type]
+        if op == "+":
+            result = ia + ib
+        elif op == "-":
+            result = ia - ib
+        elif op == "*":
+            result = ia * ib
+        elif op == "/":
+            result = _int_div(ia, ib)
+        elif op == "%":
+            result = _int_rem(ia, ib)
+        elif op == "&":
+            result = ia & ib
+        elif op == "|":
+            result = ia | ib
+        elif op == "^":
+            result = ia ^ ib
+        elif op == "<<":
+            result = ia << (ib & 31)
+        elif op == ">>":
+            if instr.signed:
+                result = ia >> (ib & 31)
+            else:
+                result = (ia & _U32) >> (ib & 31)
+        else:
+            raise AssertionError(f"int op {op}")
+        return _wrap_signed(result) if instr.signed else _wrap_unsigned(result)
+
+    def _unop(self, instr: UnOp, a: object) -> object:
+        op = instr.op
+        if op == "-":
+            if instr.float_op:
+                return -float(a)  # type: ignore[arg-type]
+            return _wrap_signed(-int(a))  # type: ignore[arg-type]
+        if op == "!":
+            return 0 if a else 1
+        if op == "~":
+            return _wrap_signed(~int(a))  # type: ignore[arg-type]
+        if op == "itof":
+            return float(int(a))  # type: ignore[arg-type]
+        if op == "ftoi":
+            f = float(a)  # type: ignore[arg-type]
+            if math.isnan(f) or math.isinf(f):
+                return 0
+            return _wrap_signed(math.trunc(f))
+        if op in ("sext8", "sext16", "zext8", "zext16"):
+            bits = 8 if op.endswith("8") else 16
+            mask = (1 << bits) - 1
+            value = int(a) & mask  # type: ignore[arg-type]
+            if op.startswith("sext") and value >= 1 << (bits - 1):
+                value -= 1 << bits
+            return value
+        raise AssertionError(f"unary op {op}")
+
+    # -------------------------------------------------------------- calls
+
+    def _exec_function(
+        self, function: IRFunction, args: list[object], ctx: ThreadContext
+    ) -> object:
+        regs: list[object] = [0] * max(function.num_regs, len(args))
+        regs[: len(args)] = args
+        saved_sp = ctx.stack.sp
+        frame_base = (
+            ctx.stack.push(function.frame_size) if function.frame_size else ctx.stack.sp
+        )
+        ctx.now += ctx.core.cost.call
+        ctx.core.perf.add("vm.calls")
+        code = function.code
+        labels = function.labels
+        cost = ctx.core.cost
+        pc = 0
+        try:
+            while pc < len(code):
+                self._instructions += 1
+                if self._instructions > self.options.max_instructions:
+                    raise RuntimeTrap(
+                        f"instruction budget exceeded "
+                        f"({self.options.max_instructions})"
+                    )
+                instr = code[pc]
+                pc += 1
+                if isinstance(instr, Const):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = instr.value
+                elif isinstance(instr, Move):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = regs[instr.src]
+                elif isinstance(instr, BinOp):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = self._binop(
+                        instr, regs[instr.a], regs[instr.b]
+                    )
+                elif isinstance(instr, UnOp):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = self._unop(instr, regs[instr.a])
+                elif isinstance(instr, Load):
+                    data = self._read_mem(
+                        instr.space, int(regs[instr.addr]), instr.size, ctx  # type: ignore[arg-type]
+                    )
+                    regs[instr.dst] = self._decode(
+                        data, instr.signed, instr.is_float
+                    )
+                elif isinstance(instr, Store):
+                    data = self._encode(
+                        regs[instr.src], instr.size, instr.is_float
+                    )
+                    self._write_mem(
+                        instr.space, int(regs[instr.addr]), data, ctx  # type: ignore[arg-type]
+                    )
+                elif isinstance(instr, Copy):
+                    self._exec_copy(instr, regs, ctx)
+                elif isinstance(instr, Extract):
+                    self._exec_extract(instr, regs, ctx)
+                elif isinstance(instr, Insert):
+                    self._exec_insert(instr, regs, ctx)
+                elif isinstance(instr, FrameAddr):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = frame_base + instr.offset
+                elif isinstance(instr, GlobalAddr):
+                    ctx.now += cost.alu
+                    regs[instr.dst] = self.program.globals[instr.name].address
+                elif isinstance(instr, Jump):
+                    ctx.now += cost.branch
+                    pc = labels[instr.label]
+                elif isinstance(instr, CJump):
+                    ctx.now += cost.branch
+                    target = (
+                        instr.then_label if regs[instr.cond] else instr.else_label
+                    )
+                    pc = labels[target]
+                elif isinstance(instr, Call):
+                    callee = self.program.function(instr.callee)
+                    value = self._exec_function(
+                        callee, [regs[a] for a in instr.args], ctx
+                    )
+                    if instr.dst is not None:
+                        regs[instr.dst] = value
+                elif isinstance(instr, ICall):
+                    fid = int(regs[instr.func_id])  # type: ignore[arg-type]
+                    name = self.program.function_ids.get(fid)
+                    if name is None:
+                        raise RuntimeTrap(
+                            f"indirect call through bad function id {fid:#x}"
+                        )
+                    ctx.now += cost.vtable_load
+                    callee = self.program.function(name)
+                    value = self._exec_function(
+                        callee, [regs[a] for a in instr.args], ctx
+                    )
+                    if instr.dst is not None:
+                        regs[instr.dst] = value
+                elif isinstance(instr, DomainCall):
+                    value = self._exec_domain_call(instr, regs, ctx)
+                    if instr.dst is not None:
+                        regs[instr.dst] = value
+                elif isinstance(instr, Intrinsic):
+                    value = self._exec_intrinsic(instr, regs, ctx)
+                    if instr.dst is not None:
+                        regs[instr.dst] = value
+                elif isinstance(instr, Ret):
+                    ctx.now += cost.ret
+                    return regs[instr.src] if instr.src is not None else 0
+                elif isinstance(instr, OffloadLaunch):
+                    regs[instr.dst] = self._launch_offload(instr, regs, ctx)
+                elif isinstance(instr, OffloadJoin):
+                    self._join_offload(int(regs[instr.handle]), ctx)  # type: ignore[arg-type]
+                elif isinstance(instr, Trap):
+                    raise RuntimeTrap(instr.message)
+                else:
+                    raise AssertionError(f"unhandled instruction {instr!r}")
+            return 0
+        finally:
+            ctx.stack.pop(saved_sp)
+
+    # ------------------------------------------------------ complex instrs
+
+    def _exec_copy(self, instr: Copy, regs: list[object], ctx: ThreadContext) -> None:
+        size = (
+            int(regs[instr.size_reg])  # type: ignore[arg-type]
+            if instr.size_reg is not None
+            else instr.size
+        )
+        if size <= 0:
+            return
+        src = int(regs[instr.src_addr])  # type: ignore[arg-type]
+        dst = int(regs[instr.dst_addr])  # type: ignore[arg-type]
+        if instr.src_space is AccSpace.OUTER:
+            assert ctx.strategy is not None
+            data, ctx.now = ctx.strategy.load(src, size, ctx.now)
+        else:
+            memory = self._memory_for(instr.src_space, ctx)
+            ctx.now += self._bulk_cost(instr.src_space, size, ctx)
+            data = memory.read_unchecked(src, size)
+        if instr.dst_space is AccSpace.OUTER:
+            assert ctx.strategy is not None
+            ctx.now = ctx.strategy.store(dst, data, ctx.now)
+        else:
+            memory = self._memory_for(instr.dst_space, ctx)
+            ctx.now += self._bulk_cost(instr.dst_space, size, ctx)
+            memory.write_unchecked(dst, data)
+
+    def _bulk_cost(self, space: AccSpace, size: int, ctx: ThreadContext) -> int:
+        per_line = self._access_cost(space, ctx)
+        lines = -(-size // 16)
+        return per_line * lines
+
+    def _exec_extract(
+        self, instr: Extract, regs: list[object], ctx: ThreadContext
+    ) -> None:
+        word = int(regs[instr.word])  # type: ignore[arg-type]
+        if instr.const_offset is not None:
+            offset = instr.const_offset
+            ctx.now += ctx.core.cost.word_extract
+        else:
+            offset = int(regs[instr.offset])  # type: ignore[arg-type]
+            ctx.now += 2 * ctx.core.cost.word_extract
+        mask = (1 << (8 * instr.size)) - 1
+        value = (word >> (8 * offset)) & mask
+        if instr.signed and value >= 1 << (8 * instr.size - 1):
+            value -= 1 << (8 * instr.size)
+        regs[instr.dst] = value
+        ctx.core.perf.add("word.extracts")
+
+    def _exec_insert(
+        self, instr: Insert, regs: list[object], ctx: ThreadContext
+    ) -> None:
+        word = int(regs[instr.word])  # type: ignore[arg-type]
+        value = int(regs[instr.value])  # type: ignore[arg-type]
+        if instr.const_offset is not None:
+            offset = instr.const_offset
+            ctx.now += ctx.core.cost.word_extract
+        else:
+            offset = int(regs[instr.offset])  # type: ignore[arg-type]
+            ctx.now += 2 * ctx.core.cost.word_extract
+        mask = (1 << (8 * instr.size)) - 1
+        shifted_mask = mask << (8 * offset)
+        merged = (word & ~shifted_mask) | ((value & mask) << (8 * offset))
+        regs[instr.dst] = merged & _U32
+        ctx.core.perf.add("word.inserts")
+
+    def _exec_domain_call(
+        self, instr: DomainCall, regs: list[object], ctx: ThreadContext
+    ) -> object:
+        meta = self.program.offload_meta[instr.offload_id]
+        fid = int(regs[instr.func_id])  # type: ignore[arg-type]
+        ctx.core.perf.add("dispatch.vcalls")
+        try:
+            entry, ctx.now = meta.domain.lookup_entry(
+                ctx.core, fid, instr.duplicate_id, ctx.now
+            )
+        except MissingDuplicateError as exc:
+            # Name the method the programmer must annotate: the program
+            # knows which host function the failing id belongs to.
+            name = self.program.function_ids.get(fid)
+            if name is not None and name not in exc.method_name:
+                raise MissingDuplicateError(
+                    name, exc.duplicate_id, exc.known
+                ) from None
+            raise
+        callee = self.program.function(str(entry.target))
+        if entry.demand:
+            self._ensure_code_resident(callee, ctx)
+        return self._exec_function(callee, [regs[a] for a in instr.args], ctx)
+
+    def _ensure_code_resident(self, callee: IRFunction, ctx: ThreadContext) -> None:
+        """On-demand code loading: the first dispatch to a non-annotated
+        duplicate on a given accelerator uploads its code image."""
+        core = ctx.core
+        if not isinstance(core, AcceleratorCore):
+            return
+        key = (core.index, callee.name)
+        if key in self._resident_code:
+            return
+        self._resident_code.add(key)
+        cost = core.cost
+        code_bytes = 4 * len(callee.code)  # one simulated word per instr
+        transfer = -(-code_bytes // cost.dma_bytes_per_cycle)
+        ctx.now += cost.dma_setup + cost.dma_latency + transfer
+        core.perf.add("demand.code_loads")
+        core.perf.add("demand.code_bytes", code_bytes)
+
+    def _exec_intrinsic(
+        self, instr: Intrinsic, regs: list[object], ctx: ThreadContext
+    ) -> object:
+        name = instr.name
+        args = [regs[a] for a in instr.args]
+        cost = ctx.core.cost
+        if name == "print_int":
+            ctx.now += cost.alu
+            self.output.append((ctx.name, int(args[0])))  # type: ignore[arg-type]
+            return 0
+        if name == "print_float":
+            ctx.now += cost.alu
+            self.output.append((ctx.name, float(args[0])))  # type: ignore[arg-type]
+            return 0
+        if name == "print_char":
+            ctx.now += cost.alu
+            self.output.append((ctx.name, chr(int(args[0]) & 0xFF)))  # type: ignore[arg-type]
+            return 0
+        if name == "sqrtf":
+            ctx.now += 4 * cost.alu
+            value = float(args[0])  # type: ignore[arg-type]
+            return math.sqrt(value) if value >= 0 else math.nan
+        if name == "fabsf":
+            ctx.now += cost.alu
+            return abs(float(args[0]))  # type: ignore[arg-type]
+        if name == "iabs":
+            ctx.now += cost.alu
+            return _wrap_signed(abs(int(args[0])))  # type: ignore[arg-type]
+        if name in ("imin", "imax"):
+            ctx.now += cost.alu
+            fn = min if name == "imin" else max
+            return fn(int(args[0]), int(args[1]))  # type: ignore[arg-type]
+        if name in ("fminf", "fmaxf"):
+            ctx.now += cost.alu
+            fn = min if name == "fminf" else max
+            return fn(float(args[0]), float(args[1]))  # type: ignore[arg-type]
+        if name in ("dma_get", "dma_put"):
+            return self._exec_dma(name, args, ctx)
+        if name == "dma_wait":
+            dma = self._require_dma(ctx)
+            ctx.now = dma.wait(int(args[0]) & 31, ctx.now)  # type: ignore[arg-type]
+            return 0
+        if name == "acc_bulk_get":
+            dma = self._require_dma(ctx)
+            local, outer, size = (int(a) for a in args)  # type: ignore[arg-type]
+            ctx.now = dma.get(ACCESSOR_TAG, local, outer, size, ctx.now)
+            ctx.now = dma.wait(ACCESSOR_TAG, ctx.now)
+            ctx.core.perf.add("accessor.bulk_gets")
+            ctx.core.perf.add("accessor.bytes_in", size)
+            return 0
+        if name == "acc_bulk_put":
+            dma = self._require_dma(ctx)
+            local, outer, size = (int(a) for a in args)  # type: ignore[arg-type]
+            ctx.now = dma.put(ACCESSOR_TAG, local, outer, size, ctx.now)
+            ctx.now = dma.wait(ACCESSOR_TAG, ctx.now)
+            ctx.core.perf.add("accessor.bulk_puts")
+            ctx.core.perf.add("accessor.bytes_out", size)
+            return 0
+        raise AssertionError(f"unhandled intrinsic {name!r}")
+
+    def _require_dma(self, ctx: ThreadContext):
+        core = ctx.core
+        if not isinstance(core, AcceleratorCore) or core.dma is None:
+            raise RuntimeTrap(
+                f"DMA intrinsic on core {ctx.name} without a DMA engine"
+            )
+        return core.dma
+
+    def _exec_dma(self, name: str, args: list[object], ctx: ThreadContext) -> object:
+        dma = self._require_dma(ctx)
+        local, outer, size, tag = (int(a) for a in args)  # type: ignore[arg-type]
+        if size <= 0:
+            raise RuntimeTrap(f"{name} with non-positive size {size}")
+        if name == "dma_get":
+            ctx.now = dma.get(tag & 31, local, outer, size, ctx.now)
+        else:
+            ctx.now = dma.put(tag & 31, local, outer, size, ctx.now)
+        return 0
+
+    # ------------------------------------------------------------ offloads
+
+    def _launch_offload(
+        self, instr: OffloadLaunch, regs: list[object], ctx: ThreadContext
+    ) -> int:
+        meta = self.program.offload_meta[instr.offload_id]
+        if not self.machine.accelerators:
+            raise RuntimeTrap("offload launch on a machine with no accelerators")
+        accel_index = min(
+            range(len(self.machine.accelerators)),
+            key=lambda i: (self._accel_available[i], i),
+        )
+        accelerator = self.machine.accelerators[accel_index]
+        start = (
+            max(ctx.now, self._accel_available[accel_index])
+            + accelerator.cost.thread_spawn
+        )
+        if accelerator.local_store is not None:
+            strategy, stack_limit = build_strategy(accelerator, meta.cache_kind)
+            stack = FrameStack(0, stack_limit, f"{accelerator.name} local-store")
+        else:
+            # Shared-memory accelerator: frames live in main memory.
+            stack_base = self.machine.heap.allocate(HOST_STACK_BYTES // 4)
+            strategy = None
+            stack = FrameStack(
+                stack_base,
+                stack_base + HOST_STACK_BYTES // 4,
+                f"{accelerator.name} stack",
+            )
+        accel_ctx = ThreadContext(
+            core=accelerator,
+            main_memory=self.machine.main_memory,
+            stack=stack,
+            now=start,
+            strategy=strategy,
+            offload_id=instr.offload_id,
+        )
+        entry = self.program.function(instr.entry)
+        self._exec_function(entry, [regs[a] for a in instr.args], accel_ctx)
+        if strategy is not None:
+            accel_ctx.now = strategy.flush(accel_ctx.now)
+        finish = accel_ctx.now
+        accelerator.clock.sync_to(finish)
+        self._accel_available[accel_index] = finish
+        ctx.now += ctx.core.cost.call  # host-side issue cost
+        handle = Handle(
+            offload_id=instr.offload_id,
+            accel_index=accel_index,
+            finish_time=finish,
+        )
+        self.handles.append(handle)
+        ctx.core.perf.add("offload.launches")
+        return len(self.handles) - 1
+
+    def _join_offload(self, handle_id: int, ctx: ThreadContext) -> None:
+        if not 0 <= handle_id < len(self.handles):
+            raise RuntimeTrap(f"join on invalid offload handle {handle_id}")
+        handle = self.handles[handle_id]
+        ctx.now = max(
+            ctx.now + ctx.core.cost.thread_join, handle.finish_time
+        )
+        handle.joined = True
+        ctx.core.perf.add("offload.joins")
+
+
+def run_program(
+    program: IRProgram,
+    machine: Machine,
+    options: Optional[RunOptions] = None,
+    entry: Optional[str] = None,
+) -> RunResult:
+    """Convenience wrapper: interpret ``program`` on ``machine``."""
+    return Interpreter(program, machine, options).run(entry)

@@ -1,0 +1,160 @@
+"""Tests for the annotation-requirement analysis (Section 4.1 metric)."""
+
+from repro.analysis.annotations import annotation_requirements, report_for_program
+from repro.compiler.driver import analyze_source
+from repro.game.sources import component_system_source
+
+BASE = """
+class A { int n; virtual void f() { n = 1; } virtual void g() { n = 2; } };
+class B : A { virtual void f() { n = 3; } };
+class C : A { virtual void f() { n = 4; } virtual void g() { n = 5; } };
+A g_a; B g_b; C g_c;
+A* g_ptrs[3];
+void setup() { g_ptrs[0] = &g_a; g_ptrs[1] = &g_b; g_ptrs[2] = &g_c; }
+"""
+
+
+def report(source):
+    info = analyze_source(source)
+    return annotation_requirements(info, info.offloads[0])
+
+
+class TestRequirementComputation:
+    def test_virtual_site_requires_all_implementations(self):
+        result = report(
+            BASE
+            + """
+            void main() {
+                setup();
+                __offload {
+                    A* p = g_ptrs[0];
+                    p->f();
+                };
+            }
+            """
+        )
+        assert result.required == ["A::f", "B::f", "C::f"]
+        assert result.virtual_call_sites == 1
+
+    def test_multiple_methods_accumulate(self):
+        result = report(
+            BASE
+            + """
+            void main() {
+                setup();
+                __offload {
+                    A* p = g_ptrs[0];
+                    p->f();
+                    p->g();
+                };
+            }
+            """
+        )
+        assert result.required == ["A::f", "A::g", "B::f", "C::f", "C::g"]
+
+    def test_derived_receiver_narrows_requirements(self):
+        """Type-specialised code needs only the subtree's methods —
+        the basis of the Section 4.1 restructuring."""
+        result = report(
+            BASE
+            + """
+            void main() {
+                setup();
+                __offload {
+                    B* p = (B*)g_ptrs[1];
+                    p->f();
+                };
+            }
+            """
+        )
+        assert result.required == ["B::f"]
+
+    def test_static_calls_traversed_transitively(self):
+        result = report(
+            BASE
+            + """
+            void run_all() {
+                A* p = g_ptrs[2];
+                p->g();
+            }
+            void main() {
+                setup();
+                __offload { run_all(); };
+            }
+            """
+        )
+        assert result.required == ["A::g", "C::g"]
+
+    def test_no_virtual_calls_means_no_requirements(self):
+        result = report(
+            BASE
+            + """
+            void main() {
+                setup();
+                __offload { g_a.n = 5; };
+            }
+            """
+        )
+        assert result.required == []
+        assert result.virtual_call_sites == 0
+
+    def test_missing_vs_declared(self):
+        info = analyze_source(
+            BASE
+            + """
+            void main() {
+                setup();
+                __offload [domain(A::f, B::f)] {
+                    A* p = g_ptrs[0];
+                    p->f();
+                };
+            }
+            """
+        )
+        result = annotation_requirements(info, info.offloads[0])
+        assert result.declared == ["A::f", "B::f"]
+        assert result.missing == ["C::f"]
+
+
+class TestComponentCaseStudyCounts:
+    """The paper's numbers, measured on the generated component system."""
+
+    def test_monolithic_annotation_explosion(self):
+        info = analyze_source(
+            component_system_source(
+                num_types=13, entities_per_type=13, methods_per_type=8,
+                specialized=False,
+            )
+        )
+        (result,) = report_for_program(info)
+        # 13 subclasses x 8 methods + 8 base implementations.
+        assert result.count == 13 * 8 + 8
+        assert result.count > 100  # the paper: "upwards of 100"
+
+    def test_specialised_offloads_are_small(self):
+        info = analyze_source(
+            component_system_source(
+                num_types=13, entities_per_type=13, methods_per_type=8,
+                specialized=True,
+            )
+        )
+        reports = report_for_program(info)
+        assert len(reports) == 13
+        assert max(r.count for r in reports) == 8
+        assert max(r.count for r in reports) <= 40  # the paper's post-fix max
+
+    def test_virtual_calls_per_frame_matches_paper_scale(self):
+        from repro.compiler.driver import compile_program
+        from repro.machine.config import CELL_LIKE
+        from repro.machine.machine import Machine
+        from repro.vm.interpreter import run_program
+
+        source = component_system_source(
+            num_types=13, entities_per_type=13, methods_per_type=8,
+            specialized=False, cache="setassoc",
+        )
+        result = run_program(
+            compile_program(source, CELL_LIKE), Machine(CELL_LIKE)
+        )
+        # 13 x 13 x 8 = 1352 =~ the paper's "1300 virtual calls per frame".
+        assert result.perf()["dispatch.vcalls"] == 1352

@@ -1,0 +1,118 @@
+"""Tests for the static DMA race analysis."""
+
+from repro.analysis.static_races import find_races_in_program, find_static_races
+from repro.compiler.driver import compile_program
+from repro.game.sources import figure1_racy_source, figure1_source
+from repro.machine.config import CELL_LIKE
+from repro.vm.interpreter import RunOptions
+from tests.conftest import run_source
+
+
+def accel_functions(source):
+    program = compile_program(source, CELL_LIKE)
+    return program.accel_functions()
+
+
+class TestStraightLineDetection:
+    def test_put_put_overlap_flagged(self):
+        source = """
+        int g_data[16];
+        void main() {
+            __offload {
+                int a[8];
+                dma_put(&a[0], &g_data[0], 32, 1);
+                dma_put(&a[0], &g_data[4], 32, 2);
+                dma_wait(1);
+                dma_wait(2);
+            };
+        }
+        """
+        findings = find_races_in_program(accel_functions(source))
+        assert len(findings) >= 1
+        assert findings[0].location == "outer"
+        assert "dma_wait" in findings[0].describe()
+
+    def test_get_get_outer_overlap_not_flagged(self):
+        source = """
+        int g_data[16];
+        void main() {
+            __offload {
+                int a[8]; int b[8];
+                dma_get(&a[0], &g_data[0], 32, 1);
+                dma_get(&b[0], &g_data[4], 32, 1);
+                dma_wait(1);
+                int x = a[0] + b[0];
+                g_data[0] = x;
+            };
+        }
+        """
+        findings = find_races_in_program(accel_functions(source))
+        assert findings == []
+
+    def test_get_get_local_overlap_flagged(self):
+        source = """
+        int g_data[16];
+        void main() {
+            __offload {
+                int a[8];
+                dma_get(&a[0], &g_data[0], 32, 1);
+                dma_get(&a[0], &g_data[8], 32, 2);
+                dma_wait(1);
+                dma_wait(2);
+            };
+        }
+        """
+        findings = find_races_in_program(accel_functions(source))
+        assert any(f.location == "local" for f in findings)
+
+    def test_wait_between_transfers_clears(self):
+        source = """
+        int g_data[16];
+        void main() {
+            __offload {
+                int a[8];
+                dma_put(&a[0], &g_data[0], 32, 1);
+                dma_wait(1);
+                dma_put(&a[0], &g_data[4], 32, 1);
+                dma_wait(1);
+            };
+        }
+        """
+        findings = find_races_in_program(accel_functions(source))
+        assert findings == []
+
+    def test_disjoint_transfers_not_flagged(self):
+        source = """
+        int g_data[32];
+        void main() {
+            __offload {
+                int a[8]; int b[8];
+                dma_get(&a[0], &g_data[0], 32, 1);
+                dma_get(&b[0], &g_data[16], 32, 1);
+                dma_wait(1);
+            };
+        }
+        """
+        findings = find_races_in_program(accel_functions(source))
+        assert findings == []
+
+    def test_figure1_pattern_is_clean(self):
+        findings = find_races_in_program(accel_functions(figure1_source()))
+        assert findings == []
+
+
+class TestDynamicAgreement:
+    def test_racy_figure1_caught_dynamically(self):
+        """The static analysis is intra-block, so the cross-iteration
+        bug in the racy variant is the dynamic checker's job."""
+        from repro.errors import DmaRaceError
+        import pytest
+
+        with pytest.raises(DmaRaceError):
+            run_source(figure1_racy_source())
+
+    def test_racy_figure1_recorded_in_record_mode(self):
+        options = RunOptions(racecheck="record")
+        result = run_source(figure1_racy_source(), run_options=options)
+        assert len(result.races) >= 1
+        assert result.races[0].location == "outer"

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM, MachineConfig
+from repro.machine.machine import Machine
+from repro.vm.interpreter import RunOptions, RunResult, run_program
+
+
+@pytest.fixture
+def cell_machine() -> Machine:
+    return Machine(CELL_LIKE)
+
+
+@pytest.fixture
+def smp_machine() -> Machine:
+    return Machine(SMP_UNIFORM)
+
+
+@pytest.fixture
+def dsp_machine() -> Machine:
+    return Machine(DSP_WORD)
+
+
+def run_source(
+    source: str,
+    config: MachineConfig = CELL_LIKE,
+    options: CompileOptions | None = None,
+    run_options: RunOptions | None = None,
+) -> RunResult:
+    """Compile and execute a source string on a fresh machine."""
+    program = compile_program(source, config, options)
+    machine = Machine(config)
+    return run_program(program, machine, run_options)
+
+
+def printed(source: str, config: MachineConfig = CELL_LIKE) -> list[object]:
+    """The values a program prints, in order."""
+    return run_source(source, config).printed

@@ -1,0 +1,67 @@
+"""Every source generator must compile and run on every applicable
+target and parameter combination — the workload generators are part of
+the public surface."""
+
+import pytest
+
+from repro import CELL_LIKE, SMP_UNIFORM, DSP_WORD
+from repro.game import sources
+from tests.conftest import run_source
+
+GENERATORS = {
+    "figure1-small": lambda: sources.figure1_source(8, 4),
+    "figure1-large": lambda: sources.figure1_source(64, 48),
+    "figure2-seq": lambda: sources.figure2_source(12, 8, 1, offloaded=False),
+    "figure2-off": lambda: sources.figure2_source(12, 8, 1, offloaded=True),
+    "figure2-cached": lambda: sources.figure2_source(
+        12, 8, 1, offloaded=True, cache="victim"
+    ),
+    "components-mono": lambda: sources.component_system_source(3, 4, 2),
+    "components-spec": lambda: sources.component_system_source(
+        3, 4, 2, specialized=True
+    ),
+    "components-nocache": lambda: sources.component_system_source(
+        2, 2, 2, cache=None
+    ),
+    "ai-host": lambda: sources.ai_kernel_source(12, offloaded=False),
+    "ai-offload": lambda: sources.ai_kernel_source(12, offloaded=True),
+    "move-naive": lambda: sources.move_loop_source(8),
+    "move-accessor": lambda: sources.move_loop_source(8, use_accessor=True),
+    "demo-seq": lambda: sources.game_demo_source(8, 6, 4, 1, offloaded=False),
+    "demo-off": lambda: sources.game_demo_source(8, 6, 4, 1, offloaded=True),
+}
+
+
+@pytest.mark.parametrize("name", list(GENERATORS))
+@pytest.mark.parametrize("config", [CELL_LIKE, SMP_UNIFORM], ids=["cell", "smp"])
+def test_generator_runs_on_target(name, config):
+    result = run_source(GENERATORS[name](), config)
+    assert result.printed, f"{name} printed nothing"
+
+
+@pytest.mark.parametrize("name", list(GENERATORS))
+def test_generator_output_is_target_independent(name):
+    cell = run_source(GENERATORS[name](), CELL_LIKE)
+    smp = run_source(GENERATORS[name](), SMP_UNIFORM)
+    assert cell.printed == smp.printed
+
+
+def test_word_struct_runs_on_all_targets():
+    source = sources.word_struct_source(8)
+    outputs = [
+        run_source(source, config).printed
+        for config in (CELL_LIKE, SMP_UNIFORM, DSP_WORD)
+    ]
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_odd_object_counts():
+    """Generators must handle odd sizes (uneven pool splits)."""
+    result = run_source(sources.move_loop_source(7, use_accessor=True))
+    assert result.printed == [1.0, 2.0]
+
+
+def test_minimal_sizes():
+    run_source(sources.figure1_source(2, 1))
+    run_source(sources.component_system_source(1, 1, 1))
+    run_source(sources.ai_kernel_source(1))

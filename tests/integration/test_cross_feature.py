@@ -1,0 +1,133 @@
+"""Cross-feature integration: the extensions composed with each other
+and with every target."""
+
+import pytest
+
+from repro import (
+    CELL_LIKE,
+    DSP_WORD,
+    SMP_UNIFORM,
+    CompileOptions,
+    Machine,
+    compile_program,
+    run_program,
+)
+from repro.game.sources import game_demo_source, word_struct_source
+from tests.conftest import run_source
+
+COMPOSITE = """
+int scale(int x) { return x * 3; }
+int offset(int x) { return x + 100; }
+int (*g_transform)(int);
+
+class Node {
+    int value;
+    virtual int weight() { return value; }
+};
+class HeavyNode : Node {
+    virtual int weight() { return value * 10; }
+};
+Node g_plain; HeavyNode g_heavy;
+Node* g_nodes[2];
+int g_data[8];
+
+void main() {
+    g_nodes[0] = &g_plain;
+    g_nodes[1] = &g_heavy;
+    g_plain.value = 3;
+    g_heavy.value = 4;
+    for (int i = 0; i < 8; i++) { g_data[i] = i; }
+    g_transform = &scale;
+    int total = 0;
+    __offload [domain(Node::weight, HeavyNode::weight, scale, offset),
+               cache(victim)] {
+        Array<int, 8> data(g_data);
+        for (int i = 0; i < 8; i++) {
+            total += g_transform(data[i]);
+        }
+        for (int i = 0; i < 2; i++) {
+            Node* n = g_nodes[i];
+            total += n->weight();
+        }
+    };
+    g_transform = &offset;
+    __offload [domain(offset, scale)] {
+        total = g_transform(total);
+    };
+    print_int(total);
+}
+"""
+
+EXPECTED = sum(i * 3 for i in range(8)) + 3 + 40 + 100
+
+
+class TestComposite:
+    def test_virtuals_fnptrs_accessors_caches_together(self):
+        assert run_source(COMPOSITE).printed == [EXPECTED]
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    @pytest.mark.parametrize("demand", [False, True])
+    def test_all_option_combinations(self, optimize, demand):
+        options = CompileOptions(optimize=optimize, demand_load=demand)
+        program = compile_program(COMPOSITE, CELL_LIKE, options)
+        result = run_program(program, Machine(CELL_LIKE))
+        assert result.printed == [EXPECTED]
+
+    def test_composite_on_shared_memory(self):
+        assert run_source(COMPOSITE, SMP_UNIFORM).printed == [EXPECTED]
+
+    def test_composite_on_shared_interconnect(self):
+        config = CELL_LIKE.with_(
+            name="cell-shared-bus", shared_interconnect=True
+        )
+        program = compile_program(COMPOSITE, config)
+        result = run_program(program, Machine(config))
+        assert result.printed == [EXPECTED]
+
+
+class TestExtensionsOnWordTarget:
+    def test_optimizer_on_word_target(self):
+        source = word_struct_source(16)
+        plain = run_program(
+            compile_program(source, DSP_WORD), Machine(DSP_WORD)
+        )
+        optimized = run_program(
+            compile_program(source, DSP_WORD, CompileOptions(optimize=True)),
+            Machine(DSP_WORD),
+        )
+        assert optimized.printed == plain.printed
+        assert optimized.cycles <= plain.cycles
+
+    def test_optimizer_with_emulation_mode(self):
+        source = word_struct_source(16)
+        options = CompileOptions(optimize=True, wordaddr_mode="emulate")
+        result = run_program(
+            compile_program(source, DSP_WORD, options), Machine(DSP_WORD)
+        )
+        baseline = run_program(
+            compile_program(source, DSP_WORD), Machine(DSP_WORD)
+        )
+        assert result.printed == baseline.printed
+
+
+class TestDemoWithEverything:
+    def test_game_demo_optimized_and_demand_loaded(self):
+        source = game_demo_source(
+            entity_count=16, pair_count=8, particles=8, frames=1
+        )
+        baseline = run_program(
+            compile_program(source, CELL_LIKE), Machine(CELL_LIKE)
+        )
+        tuned = run_program(
+            compile_program(
+                source,
+                CELL_LIKE,
+                CompileOptions(optimize=True, demand_load=True),
+            ),
+            Machine(CELL_LIKE),
+        )
+        assert tuned.printed == baseline.printed
+        # The optimiser must more than pay for demand entries here
+        # (annotations are present, so nothing demand-loads).
+        assert tuned.perf().get("demand.code_loads", 0) == 0
+        assert tuned.cycles <= baseline.cycles

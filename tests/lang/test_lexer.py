@@ -1,0 +1,162 @@
+"""Unit tests for the OffloadMini lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        (token,) = tokenize("hello")[:-1]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "hello"
+
+    def test_keywords_recognised(self):
+        assert kinds("__offload") == [TokenKind.KW_OFFLOAD]
+        assert kinds("__outer") == [TokenKind.KW_OUTER]
+        assert kinds("__byte __word") == [
+            TokenKind.KW_BYTE_ATTR,
+            TokenKind.KW_WORD_ATTR,
+        ]
+        assert kinds("virtual class struct") == [
+            TokenKind.KW_VIRTUAL,
+            TokenKind.KW_CLASS,
+            TokenKind.KW_STRUCT,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        (token,) = tokenize("classes")[:-1]
+        assert token.kind is TokenKind.IDENT
+
+    def test_underscores_and_digits_in_names(self):
+        (token,) = tokenize("_x9_y")[:-1]
+        assert token.value == "_x9_y"
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (token,) = tokenize("12345")[:-1]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.value == 12345
+
+    def test_hex_int(self):
+        (token,) = tokenize("0xFF")[:-1]
+        assert token.value == 255
+
+    def test_hex_requires_digits(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_float_with_point(self):
+        (token,) = tokenize("3.25")[:-1]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 3.25
+
+    def test_float_with_f_suffix(self):
+        (token,) = tokenize("1.5f")[:-1]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 1.5
+
+    def test_int_with_f_suffix_is_float(self):
+        (token,) = tokenize("2f")[:-1]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 2.0
+
+    def test_scientific_notation(self):
+        (token,) = tokenize("1.0e9")[:-1]
+        assert token.value == 1.0e9
+
+    def test_negative_exponent(self):
+        (token,) = tokenize("2.5e-3")[:-1]
+        assert token.value == 2.5e-3
+
+    def test_member_access_not_float(self):
+        # `a.x` must not lex the dot into a float.
+        assert kinds("a.x") == [TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT]
+
+
+class TestCharLiterals:
+    def test_plain_char(self):
+        (token,) = tokenize("'A'")[:-1]
+        assert token.kind is TokenKind.CHAR_LIT
+        assert token.value == 65
+
+    def test_escape_newline(self):
+        (token,) = tokenize(r"'\n'")[:-1]
+        assert token.value == 10
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'A")
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("-> :: && || << >> <= >= == != += -=") == [
+            TokenKind.ARROW,
+            TokenKind.COLONCOLON,
+            TokenKind.AMPAMP,
+            TokenKind.PIPEPIPE,
+            TokenKind.LSHIFT,
+            TokenKind.RSHIFT,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.EQEQ,
+            TokenKind.NOTEQ,
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.MINUS_ASSIGN,
+        ]
+
+    def test_increment_decrement(self):
+        assert kinds("++ --") == [TokenKind.PLUSPLUS, TokenKind.MINUSMINUS]
+
+    def test_colon_vs_coloncolon(self):
+        assert kinds("a : b :: c") == [
+            TokenKind.IDENT,
+            TokenKind.COLON,
+            TokenKind.IDENT,
+            TokenKind.COLONCOLON,
+            TokenKind.IDENT,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("$")
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        b = tokens[1]
+        assert b.span.start.line == 2
+        assert b.span.start.column == 3
+
+    def test_filename_propagated(self):
+        tokens = tokenize("x", filename="game.om")
+        assert tokens[0].span.start.filename == "game.om"

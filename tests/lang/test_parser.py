@@ -1,0 +1,287 @@
+"""Unit tests for the OffloadMini parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+def parse_main(body):
+    program = parse_program(f"void main() {{ {body} }}")
+    return program.functions[0].body.statements
+
+
+class TestTopLevel:
+    def test_empty_class(self):
+        program = parse_program("class Foo { };")
+        assert program.classes[0].name == "Foo"
+        assert program.classes[0].base is None
+
+    def test_inheritance(self):
+        program = parse_program("class A { }; class B : A { };")
+        assert program.classes[1].base == "A"
+
+    def test_struct_keyword(self):
+        program = parse_program("struct V { float x; };")
+        assert not program.classes[0].is_class
+        assert program.classes[0].fields[0].name == "x"
+
+    def test_fields_and_methods(self):
+        program = parse_program(
+            "class C { int n; virtual int get() { return n; } };"
+        )
+        cls = program.classes[0]
+        assert [f.name for f in cls.fields] == ["n"]
+        assert cls.methods[0].is_virtual
+        assert cls.methods[0].owner == "C"
+
+    def test_virtual_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class C { virtual int n; };")
+
+    def test_global_scalar_with_init(self):
+        program = parse_program("int g = 42;")
+        decl = program.globals[0]
+        assert decl.name == "g"
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_global_array(self):
+        program = parse_program("class E {}; E pool[10];")
+        decl = program.globals[0]
+        assert isinstance(decl.declared_type, ast.ArrayTypeRef)
+
+    def test_global_array_of_pointers(self):
+        program = parse_program("class E {}; E* ptrs[10];")
+        declared = program.globals[0].declared_type
+        assert isinstance(declared, ast.ArrayTypeRef)
+        assert isinstance(declared.element, ast.PointerTypeRef)
+
+    def test_free_function_with_params(self):
+        program = parse_program("int add(int a, int b) { return a + b; }")
+        func = program.functions[0]
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_multidim_array(self):
+        program = parse_program("int grid[4][8];")
+        outer = program.globals[0].declared_type
+        assert isinstance(outer, ast.ArrayTypeRef)
+        assert isinstance(outer.element, ast.ArrayTypeRef)
+
+
+class TestTypes:
+    def test_pointer_levels(self):
+        program = parse_program("int** pp;")
+        declared = program.globals[0].declared_type
+        assert isinstance(declared, ast.PointerTypeRef)
+        assert isinstance(declared.pointee, ast.PointerTypeRef)
+
+    def test_outer_qualifier(self):
+        program = parse_program("__outer int* p;")
+        declared = program.globals[0].declared_type
+        assert declared.outer
+
+    def test_byte_attribute(self):
+        program = parse_program("char __byte * p;")
+        declared = program.globals[0].declared_type
+        assert declared.addressing == "byte"
+
+    def test_word_attribute(self):
+        program = parse_program("char __word * p;")
+        assert program.globals[0].declared_type.addressing == "word"
+
+    def test_dangling_outer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("__outer int g;")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        (stmt,) = parse_main("int x = 5;")
+        assert isinstance(stmt, ast.VarDeclStmt)
+        assert stmt.name == "x"
+
+    def test_assignment(self):
+        stmts = parse_main("int x = 0; x = 1;")
+        assert isinstance(stmts[1], ast.AssignStmt)
+        assert stmts[1].op == ""
+
+    def test_compound_assignment(self):
+        stmts = parse_main("int x = 0; x += 2;")
+        assert stmts[1].op == "+"
+
+    def test_increment(self):
+        stmts = parse_main("int x = 0; x++;")
+        assert isinstance(stmts[1], ast.IncDecStmt)
+        assert stmts[1].delta == 1
+
+    def test_if_else(self):
+        (stmt,) = parse_main("if (1) { } else { }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_while(self):
+        (stmt,) = parse_main("while (1) { break; }")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_for_with_all_clauses(self):
+        (stmt,) = parse_main("for (int i = 0; i < 10; i++) { continue; }")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.VarDeclStmt)
+        assert isinstance(stmt.step, ast.IncDecStmt)
+
+    def test_for_with_empty_clauses(self):
+        (stmt,) = parse_main("for (;;) { break; }")
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_return_value(self):
+        program = parse_program("int f() { return 3; }")
+        (stmt,) = program.functions[0].body.statements
+        assert isinstance(stmt, ast.ReturnStmt)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main("int x = 5")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        stmts = parse_main(f"int r = {text};")
+        return stmts[0].init
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_chain_with_logical(self):
+        expr = self._expr("a < b && c >= d")
+        assert expr.op == "&&"
+
+    def test_unary_operators(self):
+        assert self._expr("-x").op == "-"
+        assert self._expr("!x").op == "!"
+        assert self._expr("~x").op == "~"
+
+    def test_deref_and_addrof(self):
+        expr = self._expr("*p + &q")
+        assert expr.lhs.op == "*"
+        assert expr.rhs.op == "&"
+
+    def test_member_chain(self):
+        expr = self._expr("a.b")
+        assert isinstance(expr, ast.MemberExpr)
+        assert not expr.arrow
+
+    def test_arrow_call_with_args(self):
+        expr = self._expr("p->f(1, 2)")
+        assert isinstance(expr, ast.CallExpr)
+        assert isinstance(expr.callee, ast.MemberExpr)
+        assert expr.callee.arrow
+        assert len(expr.args) == 2
+
+    def test_index(self):
+        expr = self._expr("a[i]")
+        assert isinstance(expr, ast.IndexExpr)
+
+    def test_sizeof(self):
+        expr = self._expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeofExpr)
+
+    def test_cast_of_known_type(self):
+        program = parse_program(
+            "class T {}; void main() { T* p = (T*)null; }"
+        )
+        init = program.functions[0].body.statements[0].init
+        assert isinstance(init, ast.CastExpr)
+
+    def test_paren_expr_not_cast_for_unknown_name(self):
+        # `(x) + 1` where x is a variable must parse as addition.
+        stmts = parse_main("int x = 1; int y = (x) + 1;")
+        assert stmts[1].init.op == "+"
+
+    def test_literals(self):
+        assert isinstance(self._expr("true"), ast.BoolLit)
+        assert isinstance(self._expr("null"), ast.NullLit)
+        assert isinstance(self._expr("'c'"), ast.IntLit)
+
+
+class TestOffloadSyntax:
+    def test_handle_declaration(self):
+        (stmt,) = parse_main("__offload_handle_t h = __offload { };")
+        assert isinstance(stmt.init, ast.OffloadExpr)
+
+    def test_domain_annotation(self):
+        (stmt,) = parse_main(
+            "__offload_handle_t h = __offload "
+            "[domain(A::f, B::g)] { };"
+        )
+        items = stmt.init.domain
+        assert [(i.class_name, i.method_name) for i in items] == [
+            ("A", "f"),
+            ("B", "g"),
+        ]
+
+    def test_domain_local_space(self):
+        (stmt,) = parse_main(
+            "__offload_handle_t h = __offload [domain(A::f@local)] { };"
+        )
+        assert stmt.init.domain[0].this_space == "local"
+
+    def test_cache_annotation(self):
+        (stmt,) = parse_main(
+            "__offload_handle_t h = __offload [cache(direct)] { };"
+        )
+        assert stmt.init.cache_kind == "direct"
+
+    def test_combined_annotations(self):
+        (stmt,) = parse_main(
+            "__offload_handle_t h = __offload "
+            "[domain(A::f), cache(victim)] { };"
+        )
+        assert stmt.init.cache_kind == "victim"
+        assert len(stmt.init.domain) == 1
+
+    def test_bare_offload_statement(self):
+        (stmt,) = parse_main("__offload { int x = 1; };")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.OffloadExpr)
+
+    def test_join_statement(self):
+        stmts = parse_main(
+            "__offload_handle_t h = __offload { }; __offload_join(h);"
+        )
+        assert isinstance(stmts[1], ast.JoinStmt)
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("__offload_handle_t h = __offload [turbo(on)] { };")
+
+    def test_bad_domain_space(self):
+        with pytest.raises(ParseError):
+            parse_main("__offload_handle_t h = __offload [domain(A::f@fast)] { };")
+
+
+class TestAccessorSyntax:
+    def test_accessor_declaration(self):
+        program = parse_program(
+            "int g[8]; void main() { Array<int, 8> a(g); }"
+        )
+        stmt = program.functions[0].body.statements[0]
+        assert isinstance(stmt.declared_type, ast.AccessorTypeRef)
+        assert stmt.init is not None
+
+    def test_accessor_of_pointers(self):
+        program = parse_program(
+            "class E {}; E* g[8]; void main() { Array<E*, 8> a(g); }"
+        )
+        declared = program.functions[0].body.statements[0].declared_type
+        assert isinstance(declared.element, ast.PointerTypeRef)
+
+    def test_accessor_needs_one_ctor_arg(self):
+        with pytest.raises(ParseError):
+            parse_program("int g[8]; void main() { Array<int, 8> a(g, g); }")

@@ -1,0 +1,83 @@
+"""Unit tests for core clocks and performance counters."""
+
+import pytest
+
+from repro.machine.clock import CoreClock
+from repro.machine.perf import PerfCounters
+
+
+class TestCoreClock:
+    def test_starts_at_zero(self):
+        assert CoreClock().now == 0
+
+    def test_advance_accumulates(self):
+        clock = CoreClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_returns_new_time(self):
+        clock = CoreClock(100)
+        assert clock.advance(1) == 101
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            CoreClock().advance(-1)
+
+    def test_sync_to_future_waits(self):
+        clock = CoreClock(10)
+        assert clock.sync_to(50) == 50
+
+    def test_sync_to_past_is_free(self):
+        clock = CoreClock(100)
+        assert clock.sync_to(50) == 100
+
+    def test_reset(self):
+        clock = CoreClock(100)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            CoreClock(-5)
+
+
+class TestPerfCounters:
+    def test_unset_counter_reads_zero(self):
+        assert PerfCounters().get("nothing") == 0
+
+    def test_add_accumulates(self):
+        perf = PerfCounters()
+        perf.add("hits")
+        perf.add("hits", 4)
+        assert perf.get("hits") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters().add("x", -1)
+
+    def test_ratio(self):
+        perf = PerfCounters()
+        perf.add("hits", 3)
+        perf.add("probes", 4)
+        assert perf.ratio("hits", "probes") == pytest.approx(0.75)
+
+    def test_ratio_with_zero_denominator(self):
+        assert PerfCounters().ratio("a", "b") == 0.0
+
+    def test_reset_clears_all(self):
+        perf = PerfCounters()
+        perf.add("x", 10)
+        perf.reset()
+        assert perf.get("x") == 0
+
+    def test_as_dict_sorted(self):
+        perf = PerfCounters()
+        perf.add("zebra")
+        perf.add("alpha")
+        assert list(perf.as_dict()) == ["alpha", "zebra"]
+
+    def test_iteration_yields_pairs(self):
+        perf = PerfCounters()
+        perf.add("a", 2)
+        assert list(perf) == [("a", 2)]

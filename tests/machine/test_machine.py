@@ -1,0 +1,76 @@
+"""Unit tests for machine assembly and configurations."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM, CostModel, MachineConfig
+from repro.machine.machine import Machine
+
+
+class TestConfigs:
+    def test_cell_has_local_stores_and_dma(self):
+        machine = Machine(CELL_LIKE)
+        acc = machine.accelerator(0)
+        assert acc.local_store is not None
+        assert acc.local_store.size == 256 * 1024
+        assert acc.dma is not None
+
+    def test_smp_accelerators_share_memory(self):
+        machine = Machine(SMP_UNIFORM)
+        acc = machine.accelerator(0)
+        assert acc.shared_memory
+        assert acc.local_store is None
+        assert acc.dma is None
+
+    def test_dsp_memory_is_word_granular(self):
+        machine = Machine(DSP_WORD)
+        assert machine.main_memory.granularity == 4
+        acc = machine.accelerator(0)
+        assert acc.local_store is not None
+        assert acc.local_store.granularity == 4
+
+    def test_with_override(self):
+        config = CELL_LIKE.with_(num_accelerators=2)
+        assert config.num_accelerators == 2
+        assert config.local_store_size == CELL_LIKE.local_store_size
+        assert Machine(config).accelerators[0].name == "acc0"
+
+    def test_custom_cost_model(self):
+        config = MachineConfig(name="t", cost=CostModel(dma_latency=999))
+        assert Machine(config).accelerator(0).cost.dma_latency == 999
+
+
+class TestMachine:
+    def test_accelerator_index_bounds(self):
+        machine = Machine(CELL_LIKE)
+        with pytest.raises(MachineError):
+            machine.accelerator(99)
+
+    def test_all_components_share_perf(self):
+        machine = Machine(CELL_LIKE)
+        machine.accelerator(0).perf.add("x")
+        assert machine.perf.get("x") == 1
+
+    def test_total_cycles_is_max_over_cores(self):
+        machine = Machine(CELL_LIKE)
+        machine.host.clock.advance(100)
+        machine.accelerator(2).clock.advance(500)
+        assert machine.total_cycles() == 500
+
+    def test_heap_allocations_are_disjoint(self):
+        machine = Machine(CELL_LIKE)
+        a = machine.heap.allocate(1000)
+        b = machine.heap.allocate(1000)
+        assert abs(b - a) >= 1000
+
+    def test_reset_restores_power_on_state(self):
+        machine = Machine(CELL_LIKE)
+        machine.host.clock.advance(100)
+        machine.main_memory.write_unchecked(0, b"\xff")
+        machine.perf.add("x")
+        heap_first = machine.heap.allocate(64)
+        machine.reset()
+        assert machine.host.clock.now == 0
+        assert machine.main_memory.read_unchecked(0, 1) == b"\x00"
+        assert machine.perf.get("x") == 0
+        assert machine.heap.allocate(64) == heap_first

@@ -1,0 +1,175 @@
+"""Property-based tests over the compiler and execution pipeline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.layout import compute_layout
+from repro.compiler.driver import analyze_source
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from tests.conftest import run_source
+
+# ---------------------------------------------------------------- lexer
+
+
+class TestLexerProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_int_literals_round_trip(self, value):
+        token = tokenize(str(value))[0]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.value == value
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_hex_literals_round_trip(self, value):
+        token = tokenize(hex(value))[0]
+        assert token.value == value
+
+    @given(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+        )
+    )
+    def test_identifiers_keep_spelling(self, name):
+        token = tokenize(name)[0]
+        if token.kind is TokenKind.IDENT:
+            assert token.value == name
+
+    @given(st.lists(st.sampled_from(
+        ["x", "42", "+", "-", "(", ")", "{", "}", ";", "if", "while", "->",
+         "1.5f", "'c'", "==", "__offload"]), max_size=30))
+    def test_lexer_never_hangs_on_token_soup(self, pieces):
+        tokens = tokenize(" ".join(pieces))
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+# ------------------------------------------------------------ arithmetic
+
+
+def _c_div(a, b):
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class TestArithmeticAgainstOracle:
+    @given(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.sampled_from(["+", "-", "*"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_int_ops_match_python(self, a, b, op):
+        result = run_source(
+            f"void main() {{ print_int(({a}) {op} ({b})); }}"
+        )
+        expected = {"+": a + b, "-": a - b, "*": a * b}[op]
+        expected = ((expected + 2**31) % 2**32) - 2**31  # wrap to int32
+        assert result.printed == [expected]
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_division_matches_c_semantics(self, a, b):
+        result = run_source(f"void main() {{ print_int(({a}) / {b}); }}")
+        assert result.printed == [_c_div(a, b)]
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_remainder_identity(self, a, b):
+        """(a/b)*b + a%b == a, as C requires."""
+        result = run_source(
+            f"void main() {{ print_int((({a}) / {b}) * {b} + (({a}) % {b})); }}"
+        )
+        assert result.printed == [a]
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_array_sum_loop(self, values):
+        n = len(values)
+        stores = "\n".join(
+            f"g[{i}] = {v};" for i, v in enumerate(values)
+        )
+        result = run_source(
+            f"""
+            int g[{n}];
+            void main() {{
+                {stores}
+                int sum = 0;
+                for (int i = 0; i < {n}; i++) {{ sum += g[i]; }}
+                print_int(sum);
+            }}
+            """
+        )
+        assert result.printed == [sum(values)]
+
+
+# ------------------------------------------------------------ portability
+
+
+class TestPortabilityProperties:
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=2, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_offloaded_reduction_portable(self, values):
+        """The same offloaded program produces identical output on the
+        Cell-like and shared-memory targets (Section 4.2's portability
+        claim), for arbitrary data."""
+        n = len(values)
+        stores = "\n".join(f"g[{i}] = {v};" for i, v in enumerate(values))
+        source = f"""
+        int g[{n}];
+        void main() {{
+            {stores}
+            int sum = 0;
+            __offload {{
+                Array<int, {n}> data(g);
+                for (int i = 0; i < {n}; i++) {{ sum += data[i]; }}
+            }};
+            print_int(sum);
+        }}
+        """
+        cell = run_source(source, CELL_LIKE)
+        smp = run_source(source, SMP_UNIFORM)
+        assert cell.printed == smp.printed == [sum(values)]
+
+
+# ---------------------------------------------------------------- layout
+
+
+class TestLayoutProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["int", "char", "float", "bool"]),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fields_never_overlap_and_stay_aligned(self, field_types):
+        fields = "\n".join(
+            f"{t} f{i};" for i, t in enumerate(field_types)
+        )
+        info = analyze_source(f"struct S {{ {fields} }}; void main() {{ }}")
+        cls = info.classes["S"]
+        placed = sorted(
+            (f.offset, f.type.size(), f.name) for f in cls.fields
+        )
+        for (off_a, size_a, _), (off_b, _, _) in zip(placed, placed[1:]):
+            assert off_a + size_a <= off_b
+        for field in cls.fields:
+            assert field.offset % max(1, field.type.align()) == 0
+        last_offset, last_size, _ = placed[-1]
+        assert cls.size() >= last_offset + last_size
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_globals_disjoint_for_any_count(self, count):
+        declarations = "\n".join(f"int g{i}[3];" for i in range(count))
+        info = analyze_source(declarations + "\nvoid main() { }")
+        layout = compute_layout(info)
+        slots = sorted(layout.globals.values(), key=lambda s: s.address)
+        for first, second in zip(slots, slots[1:]):
+            assert first.address + first.size <= second.address

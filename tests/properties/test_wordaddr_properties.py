@@ -1,0 +1,82 @@
+"""Property-based tests for the Section 5 address-kind calculus."""
+
+from hypothesis import given, strategies as st
+
+from repro.compiler import wordaddr
+from repro.errors import CompileError
+
+WORD = 4
+
+kinds = st.one_of(
+    st.just("word"),
+    st.just("dynamic"),
+    st.integers(min_value=1, max_value=WORD - 1),
+)
+
+
+class TestAddOffset:
+    @given(st.integers(min_value=-64, max_value=64))
+    def test_word_base_tracks_remainder(self, delta):
+        result = wordaddr.add_offset("word", delta, WORD, None, "t")
+        remainder = delta % WORD
+        assert result == ("word" if remainder == 0 else remainder)
+
+    @given(kinds, st.integers(min_value=-64, max_value=64))
+    def test_dynamic_is_absorbing(self, base, delta):
+        if base == "dynamic":
+            assert wordaddr.add_offset(base, delta, WORD, None, "t") == "dynamic"
+
+    @given(
+        st.integers(min_value=1, max_value=WORD - 1),
+        st.integers(min_value=-64, max_value=64),
+    )
+    def test_const_offsets_compose_mod_word(self, base, delta):
+        result = wordaddr.add_offset(base, delta, WORD, None, "t")
+        remainder = (base + delta) % WORD
+        assert result == ("word" if remainder == 0 else remainder)
+
+    @given(st.one_of(st.just("word"), st.integers(min_value=1, max_value=3)))
+    def test_unknown_delta_always_rejected_for_non_dynamic(self, base):
+        try:
+            wordaddr.add_offset(base, None, WORD, None, "t")
+            raised = False
+        except CompileError:
+            raised = True
+        assert raised
+
+
+class TestScaledDelta:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=-32, max_value=32),
+    )
+    def test_constant_index_is_exact(self, element_size, index):
+        assert wordaddr.scaled_delta(element_size, index, WORD) == (
+            element_size * index
+        )
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_variable_index_classification(self, element_size):
+        result = wordaddr.scaled_delta(element_size, None, WORD)
+        if element_size % WORD == 0:
+            assert result == 0
+        else:
+            assert result is None
+
+
+class TestDerefPlan:
+    @given(kinds, st.integers(min_value=1, max_value=8))
+    def test_plan_is_total_and_consistent(self, kind, size):
+        plan = wordaddr.deref_plan(kind, size, WORD)
+        assert plan in ("direct", "const-extract", "dynamic-extract")
+        if kind == "dynamic":
+            assert plan == "dynamic-extract"
+        if kind == "word" and size % WORD == 0:
+            assert plan == "direct"
+        if isinstance(kind, int) and size <= WORD - kind:
+            assert plan == "const-extract"
+
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=8))
+    def test_straddling_accesses_fall_back_to_dynamic(self, kind, size):
+        if size > WORD - kind:
+            assert wordaddr.deref_plan(kind, size, WORD) == "dynamic-extract"

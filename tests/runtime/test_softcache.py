@@ -1,0 +1,198 @@
+"""Unit tests for the software cache implementations."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.runtime.softcache import (
+    DirectMappedCache,
+    SetAssociativeCache,
+    VictimCache,
+    make_cache,
+)
+
+CACHE_BASE = 0x10000
+
+
+@pytest.fixture
+def acc():
+    return Machine(CELL_LIKE).accelerator(0)
+
+
+def make(acc, kind="direct", **kwargs):
+    return make_cache(kind, acc, CACHE_BASE, **kwargs)
+
+
+class TestFunctionalCorrectness:
+    def test_load_returns_memory_contents(self, acc):
+        acc.main_memory.write_unchecked(0x500, b"cached!!")
+        cache = make(acc)
+        data, _ = cache.load(0x500, 8, 0)
+        assert data == b"cached!!"
+
+    def test_store_then_load_sees_new_value(self, acc):
+        cache = make(acc)
+        now = cache.store(0x500, b"new-data", 0)
+        data, _ = cache.load(0x500, 8, now)
+        assert data == b"new-data"
+
+    def test_writeback_reaches_main_memory_only_on_flush(self, acc):
+        cache = make(acc)
+        now = cache.store(0x500, b"dirty", 0)
+        assert acc.main_memory.read_unchecked(0x500, 5) != b"dirty"
+        cache.flush(now)
+        assert acc.main_memory.read_unchecked(0x500, 5) == b"dirty"
+
+    def test_write_through_reaches_memory_immediately(self, acc):
+        cache = DirectMappedCache(acc, CACHE_BASE, write_through=True)
+        cache.store(0x500, b"wt", 0)
+        assert acc.main_memory.read_unchecked(0x500, 2) == b"wt"
+
+    def test_load_spanning_lines(self, acc):
+        payload = bytes(range(200))
+        acc.main_memory.write_unchecked(0x500, payload)
+        cache = make(acc, line_size=128)
+        data, _ = cache.load(0x500, 200, 0)
+        assert data == payload
+
+    def test_store_spanning_lines(self, acc):
+        payload = bytes(reversed(range(200)))
+        cache = make(acc, line_size=128)
+        now = cache.store(0x500, bytes(payload), 0)
+        cache.flush(now)
+        assert acc.main_memory.read_unchecked(0x500, 200) == bytes(payload)
+
+    def test_invalidate_drops_dirty_data(self, acc):
+        cache = make(acc)
+        cache.store(0x500, b"gone", 0)
+        cache.invalidate()
+        cache.flush(0)
+        assert acc.main_memory.read_unchecked(0x500, 4) == bytes(4)
+
+    def test_eviction_writes_back_dirty_line(self, acc):
+        cache = make(acc, line_size=128, num_lines=4)
+        now = cache.store(0x0, b"evicted!", 0)
+        # Access addresses mapping to the same slot until 0x0 is evicted.
+        for step in range(1, 6):
+            _, now = cache.load(step * 4 * 128, 8, now)
+        assert acc.main_memory.read_unchecked(0, 8) == b"evicted!"
+
+
+class TestTiming:
+    def test_hit_is_much_cheaper_than_miss(self, acc):
+        cache = make(acc)
+        _, t_miss = cache.load(0x500, 4, 0)
+        _, t_hit = cache.load(0x500, 4, t_miss)
+        assert (t_hit - t_miss) < (t_miss - 0) / 5
+
+    def test_hit_cost_is_probe_only(self, acc):
+        cache = make(acc)
+        _, now = cache.load(0x500, 4, 0)
+        _, after = cache.load(0x504, 4, now)
+        assert after - now == acc.cost.cache_probe
+
+
+class TestStatistics:
+    def test_hit_rate(self, acc):
+        cache = make(acc)
+        now = 0
+        for _ in range(10):
+            _, now = cache.load(0x500, 4, now)
+        assert cache.hit_rate() == pytest.approx(0.9)
+
+    def test_counters(self, acc):
+        cache = make(acc)
+        now = 0
+        _, now = cache.load(0x500, 4, now)
+        _, now = cache.load(0x500, 4, now)
+        assert acc.perf.get("softcache.probes") == 2
+        assert acc.perf.get("softcache.hits") == 1
+        assert acc.perf.get("softcache.misses") == 1
+        assert acc.perf.get("softcache.fills") == 1
+
+
+class TestConflictBehaviour:
+    def _thrash(self, cache, rounds=8):
+        """Alternate two addresses that collide in a direct-mapped cache."""
+        stride = cache.line_size * cache.num_lines
+        now = 0
+        for _ in range(rounds):
+            _, now = cache.load(0x0, 4, now)
+            _, now = cache.load(stride, 4, now)
+        return now
+
+    def test_direct_mapped_thrashes_on_conflict(self, acc):
+        cache = DirectMappedCache(acc, CACHE_BASE, num_lines=8)
+        self._thrash(cache)
+        assert acc.perf.get("softcache.misses") >= 15  # all but the first pair miss
+
+    def test_set_associative_absorbs_conflict(self, acc):
+        cache = SetAssociativeCache(acc, CACHE_BASE, num_lines=8, ways=2)
+        # Conflicting addresses differ by num_sets * line_size.
+        stride = cache.num_sets * cache.line_size
+        now = 0
+        for _ in range(8):
+            _, now = cache.load(0x0, 4, now)
+            _, now = cache.load(stride, 4, now)
+        assert acc.perf.get("softcache.misses") == 2  # only compulsory misses
+
+    def test_victim_cache_absorbs_conflict(self, acc):
+        cache = VictimCache(acc, CACHE_BASE, num_lines=8, victim_slots=2)
+        stride = cache.primary_lines * cache.line_size
+        now = 0
+        for _ in range(8):
+            _, now = cache.load(0x0, 4, now)
+            _, now = cache.load(stride, 4, now)
+        # After the first round, each line is found either in its
+        # primary slot or in the victim buffer.
+        assert acc.perf.get("softcache.misses") <= 3
+
+    def test_victim_cache_preserves_dirty_data_through_moves(self, acc):
+        cache = VictimCache(acc, CACHE_BASE, num_lines=8, victim_slots=2)
+        stride = cache.primary_lines * cache.line_size
+        now = cache.store(0x0, b"precious", 0)
+        # Displace into the victim buffer and back several times.
+        for i in range(1, 4):
+            _, now = cache.load(i * stride, 8, now)
+        data, now = cache.load(0x0, 8, now)
+        assert data == b"precious"
+        cache.flush(now)
+        assert acc.main_memory.read_unchecked(0, 8) == b"precious"
+
+    def test_lru_within_set(self, acc):
+        cache = SetAssociativeCache(acc, CACHE_BASE, num_lines=8, ways=2)
+        stride = cache.num_sets * cache.line_size
+        now = 0
+        _, now = cache.load(0 * stride, 4, now)  # A
+        _, now = cache.load(1 * stride, 4, now)  # B (set full)
+        _, now = cache.load(0 * stride, 4, now)  # touch A
+        _, now = cache.load(2 * stride, 4, now)  # C evicts B (LRU)
+        misses_before = acc.perf.get("softcache.misses")
+        _, now = cache.load(0 * stride, 4, now)  # A still resident
+        assert acc.perf.get("softcache.misses") == misses_before
+
+
+class TestValidation:
+    def test_non_power_of_two_line_size_rejected(self, acc):
+        with pytest.raises(ValueError):
+            DirectMappedCache(acc, CACHE_BASE, line_size=100)
+
+    def test_storage_must_fit_local_store(self, acc):
+        with pytest.raises(MachineError):
+            DirectMappedCache(
+                acc, acc.local_store.size - 64, line_size=128, num_lines=64
+            )
+
+    def test_ways_must_divide_lines(self, acc):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(acc, CACHE_BASE, num_lines=8, ways=3)
+
+    def test_unknown_kind_rejected(self, acc):
+        with pytest.raises(ValueError):
+            make_cache("bogus", acc, CACHE_BASE)
+
+    def test_host_core_rejected(self):
+        machine = Machine(CELL_LIKE)
+        with pytest.raises((MachineError, AttributeError)):
+            DirectMappedCache(machine.host, CACHE_BASE)  # type: ignore[arg-type]

@@ -1,0 +1,121 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tools import check as check_tool
+from repro.tools import run as run_tool
+
+CLEAN = """
+class Shape {
+    int id;
+    virtual int area() { return 7; }
+};
+Shape g_s;
+Shape* g_p;
+void main() {
+    g_p = &g_s;
+    int result = 0;
+    __offload [domain(Shape::area)] {
+        Shape* p = g_p;
+        result = p->area();
+    };
+    print_int(result);
+}
+"""
+
+BROKEN = "void main() { int x = ; }"
+
+RACY = """
+int g_data[16];
+void main() {
+    __offload {
+        int a[8];
+        dma_put(&a[0], &g_data[0], 32, 1);
+        dma_put(&a[0], &g_data[4], 32, 2);
+        dma_wait(1);
+        dma_wait(2);
+    };
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    def write(text):
+        path = tmp_path / "program.om"
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestRunTool:
+    def test_runs_and_prints(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN)])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "[host] 7" in captured.out
+        assert "simulated cycles" in captured.err
+
+    def test_target_selection(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--target", "smp"])
+        assert status == 0
+        assert "smp-uniform" in capsys.readouterr().err
+
+    def test_compile_error_exit_code(self, source_file, capsys):
+        status = run_tool.main([source_file(BROKEN)])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_dump_ir(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--dump-ir"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+        assert "offload #0" in out
+
+    def test_perf_counters(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--perf"])
+        assert status == 0
+        assert "dispatch.vcalls" in capsys.readouterr().err
+
+    def test_race_abort_exit_code(self, source_file, capsys):
+        status = run_tool.main([source_file(RACY)])
+        assert status == 2
+        assert "race" in capsys.readouterr().err.lower()
+
+    def test_record_races_keeps_running(self, source_file, capsys):
+        status = run_tool.main([source_file(RACY), "--record-races"])
+        assert status == 0
+        assert "race" in capsys.readouterr().err.lower()
+
+    def test_optimize_flag(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--optimize"])
+        assert status == 0
+        assert "[host] 7" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        status = run_tool.main(["/nonexistent/nothing.om"])
+        assert status == 1
+
+
+class TestCheckTool:
+    def test_clean_program(self, source_file, capsys):
+        # Shape has no subclasses, so the annotation is complete.
+        status = check_tool.main([source_file(CLEAN)])
+        assert status == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_missing_annotation_reported(self, source_file, capsys):
+        source = CLEAN.replace("[domain(Shape::area)]", "")
+        status = check_tool.main([source_file(source)])
+        assert status == 3
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_static_race_reported(self, source_file, capsys):
+        status = check_tool.main([source_file(RACY)])
+        assert status == 3
+        assert "race:" in capsys.readouterr().out
+
+    def test_compile_error(self, source_file):
+        assert check_tool.main([source_file(BROKEN)]) == 1

@@ -1,0 +1,113 @@
+"""Tests for on-demand code loading — the extension Section 4.1
+sketches: "Elaborations on this technique could implement alternative
+behaviours, such as on-demand code loading for functions not present
+in local memory."
+"""
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.errors import MissingDuplicateError
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.vm.interpreter import run_program
+
+SOURCE = """
+class A { int n; virtual int f() { return 1; } };
+class B : A { virtual int f() { return 2; } };
+class C : A { virtual int f() { return 3; } };
+A g_a; B g_b; C g_c;
+A* g_ptrs[3];
+void main() {
+    g_ptrs[0] = &g_a; g_ptrs[1] = &g_b; g_ptrs[2] = &g_c;
+    int total = 0;
+    __offload {ANN} {
+        for (int rep = 0; rep < 3; rep++) {
+            for (int i = 0; i < 3; i++) {
+                A* p = g_ptrs[i];
+                total += p->f();
+            }
+        }
+    };
+    print_int(total);
+}
+"""
+
+
+def run(annotations="", demand=False):
+    source = SOURCE.replace("{ANN}", annotations)
+    options = CompileOptions(demand_load=demand)
+    program = compile_program(source, CELL_LIKE, options)
+    return run_program(program, Machine(CELL_LIKE))
+
+
+class TestDemandLoading:
+    def test_without_it_unannotated_calls_fail(self):
+        with pytest.raises(MissingDuplicateError):
+            run(annotations="[domain(A::f)]", demand=False)
+
+    def test_no_annotations_needed_at_all(self):
+        result = run(annotations="", demand=True)
+        assert result.printed == [3 * (1 + 2 + 3)]
+
+    def test_each_method_loaded_once_per_accelerator(self):
+        result = run(annotations="", demand=True)
+        perf = result.perf()
+        # Three implementations, dispatched 3 reps x 3 each: loaded 3x.
+        assert perf["demand.code_loads"] == 3
+        assert perf["demand.code_bytes"] > 0
+
+    def test_annotated_methods_skip_the_load(self):
+        result = run(
+            annotations="[domain(A::f, B::f, C::f)]", demand=True
+        )
+        assert result.perf().get("demand.code_loads", 0) == 0
+
+    def test_partial_annotation_loads_the_rest(self):
+        result = run(annotations="[domain(A::f)]", demand=True)
+        assert result.printed == [18]
+        assert result.perf()["demand.code_loads"] == 2  # B::f and C::f
+
+    def test_first_call_pays_annotation_does_not(self):
+        annotated = run(annotations="[domain(A::f, B::f, C::f)]", demand=False)
+        demand = run(annotations="", demand=True)
+        assert demand.printed == annotated.printed
+        # Demand loading trades annotations for first-call latency.
+        assert demand.cycles > annotated.cycles
+
+    def test_amortised_over_repeated_calls(self):
+        """The upload happens once; the per-call overhead afterwards is
+        only the (identical) domain search."""
+        source_many = SOURCE.replace("rep < 3", "rep < 30")
+        once = run_program(
+            compile_program(
+                source_many.replace("{ANN}", ""),
+                CELL_LIKE,
+                CompileOptions(demand_load=True),
+            ),
+            Machine(CELL_LIKE),
+        )
+        assert once.perf()["demand.code_loads"] == 3  # still just three
+
+    def test_local_receivers_still_require_annotation(self):
+        """Demand entries are compiled for outer receivers only; a local
+        receiver still needs an explicit @local annotation."""
+        source = """
+        class A { int n; virtual int f() { return 1; } };
+        void main() {
+            int result = 0;
+            __offload {
+                A local_a;
+                A* p = &local_a;
+                result = p->f();
+            };
+            print_int(result);
+        }
+        """
+        with pytest.raises(MissingDuplicateError):
+            run_program(
+                compile_program(
+                    source, CELL_LIKE, CompileOptions(demand_load=True)
+                ),
+                Machine(CELL_LIKE),
+            )

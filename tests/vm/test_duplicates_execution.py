@@ -1,0 +1,146 @@
+"""Execution tests for automatic call-graph duplication: the same
+source function running as different space-signature duplicates."""
+
+from repro import CELL_LIKE, compile_program
+from tests.conftest import printed, run_source
+
+
+class TestMixedSignatureExecution:
+    def test_helper_called_with_both_spaces(self):
+        """One helper, two duplicates (outer-arg and local-arg), both
+        executed in the same offload with correct results."""
+        source = """
+        int g = 100;
+        int read_and_bump(int* p) { *p = *p + 1; return *p; }
+        void main() {
+            int result = 0;
+            __offload {
+                int local_v = 10;
+                int a = read_and_bump(&g);        // outer duplicate
+                int b = read_and_bump(&local_v);  // local duplicate
+                result = a * 1000 + b;
+            };
+            print_int(result);
+            print_int(g);
+        }
+        """
+        assert printed(source) == [101 * 1000 + 11, 101]
+
+    def test_duplicate_count_matches_signatures(self):
+        source = """
+        int g = 100;
+        int read_and_bump(int* p) { *p = *p + 1; return *p; }
+        void main() {
+            int result = 0;
+            __offload {
+                int local_v = 10;
+                result = read_and_bump(&g) + read_and_bump(&local_v);
+            };
+            print_int(result);
+        }
+        """
+        program = compile_program(source, CELL_LIKE)
+        duplicates = [
+            f for f in program.functions.values()
+            if f.source_name == "read_and_bump" and f.space == "accel"
+        ]
+        assert sorted(d.duplicate_id for d in duplicates) == ["L", "O"]
+
+    def test_two_pointer_params_full_matrix(self):
+        source = """
+        int g1 = 5; int g2 = 7;
+        int combine(int* a, int* b) { return *a * 10 + *b; }
+        void main() {
+            int r = 0;
+            __offload {
+                int l1 = 1; int l2 = 2;
+                r = combine(&g1, &g2) * 1000000
+                  + combine(&g1, &l2) * 10000
+                  + combine(&l1, &g2) * 100
+                  + combine(&l1, &l2);
+            };
+            print_int(r);
+        }
+        """
+        # OO: 57, OL: 52, LO: 17, LL: 12
+        assert printed(source) == [57 * 1000000 + 52 * 10000 + 17 * 100 + 12]
+        program = compile_program(source, CELL_LIKE)
+        signatures = sorted(
+            f.duplicate_id
+            for f in program.functions.values()
+            if f.source_name == "combine" and f.space == "accel"
+        )
+        assert signatures == ["LL", "LO", "OL", "OO"]
+
+    def test_methods_on_local_and_outer_objects(self):
+        source = """
+        class Counter {
+            int n;
+            void bump() { n = n + 1; }
+            int get() { return n; }
+        };
+        Counter g_c;
+        void main() {
+            int result = 0;
+            __offload {
+                Counter local_c;
+                local_c.n = 50;
+                local_c.bump();          // this = local
+                g_c.bump();              // this = outer
+                g_c.bump();
+                result = local_c.get() * 1000 + g_c.get();
+            };
+            print_int(result);
+        }
+        """
+        assert printed(source) == [51 * 1000 + 2]
+
+    def test_transitive_chain_keeps_spaces(self):
+        source = """
+        int g = 3;
+        int leaf(int* p) { return *p * 2; }
+        int middle(int* p) { return leaf(p) + 1; }
+        void main() {
+            int r = 0;
+            __offload {
+                int local_v = 5;
+                r = middle(&g) * 100 + middle(&local_v);
+            };
+            print_int(r);
+        }
+        """
+        assert printed(source) == [7 * 100 + 11]
+
+    def test_recursion_inside_offload(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        void main() {
+            int r = 0;
+            __offload { r = fib(12); };
+            print_int(r);
+        }
+        """
+        assert printed(source) == [144]
+
+    def test_offload_inside_method_calling_methods(self):
+        source = """
+        class Engine {
+            int state;
+            int step(int amount) { state = state + amount; return state; }
+            void run() {
+                __offload {
+                    this->step(5);
+                    this->step(7);
+                };
+            }
+        };
+        Engine g_e;
+        void main() {
+            g_e.run();
+            print_int(g_e.state);
+        }
+        """
+        assert printed(source) == [12]

@@ -1,0 +1,338 @@
+"""End-to-end execution tests: arithmetic, control flow, functions."""
+
+import pytest
+
+from repro.errors import RuntimeTrap
+from tests.conftest import printed, run_source
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert printed(
+            "void main() { print_int(7 + 3 * 2 - 4 / 2); }"
+        ) == [11]
+
+    def test_division_truncates_toward_zero(self):
+        assert printed("void main() { print_int(-7 / 2); }") == [-3]
+
+    def test_remainder_keeps_dividend_sign(self):
+        assert printed("void main() { print_int(-7 % 3); }") == [-1]
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(RuntimeTrap):
+            run_source("void main() { int z = 0; print_int(1 / z); }")
+
+    def test_int32_wraparound(self):
+        assert printed(
+            "void main() { int big = 2147483647; print_int(big + 1); }"
+        ) == [-2147483648]
+
+    def test_bitwise_ops(self):
+        assert printed(
+            "void main() { print_int((12 & 10) | (1 ^ 3)); }"
+        ) == [10]
+
+    def test_shifts(self):
+        assert printed("void main() { print_int(1 << 4); }") == [16]
+        assert printed("void main() { print_int(-16 >> 2); }") == [-4]
+
+    def test_unsigned_arithmetic(self):
+        assert printed(
+            "void main() { uint u = 0; u -= 1; print_int((int)(u >> 28)); }"
+        ) == [15]
+
+    def test_float_arithmetic(self):
+        assert printed("void main() { print_float(0.5f * 4.0f + 1.0f); }") == [3.0]
+
+    def test_int_to_float_promotion(self):
+        assert printed("void main() { print_float(3 / 2.0f); }") == [1.5]
+
+    def test_float_to_int_cast_truncates(self):
+        assert printed("void main() { print_int((int)2.9f); }") == [2]
+        assert printed("void main() { print_int((int)(0.0f - 2.9f)); }") == [-2]
+
+    def test_unary_ops(self):
+        assert printed("void main() { print_int(-(5)); }") == [-5]
+        assert printed("void main() { print_int(!0); }") == [1]
+        assert printed("void main() { print_int(~0); }") == [-1]
+
+    def test_char_narrowing(self):
+        assert printed(
+            "void main() { char c = (char)300; print_int(c); }"
+        ) == [44]
+
+    def test_comparisons(self):
+        assert printed(
+            "void main() { print_int(3 < 5); print_int(5 <= 4); "
+            "print_int(2 == 2); print_int(2 != 2); }"
+        ) == [1, 0, 1, 0]
+
+    def test_math_intrinsics(self):
+        assert printed("void main() { print_float(sqrtf(9.0f)); }") == [3.0]
+        assert printed("void main() { print_int(imax(3, iabs(-7))); }") == [7]
+        assert printed("void main() { print_float(fminf(1.5f, 0.5f)); }") == [0.5]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert printed(
+            "void main() { if (2 > 1) { print_int(1); } else { print_int(2); } }"
+        ) == [1]
+
+    def test_while_loop(self):
+        assert printed(
+            """
+            void main() {
+                int i = 0; int sum = 0;
+                while (i < 5) { sum += i; i++; }
+                print_int(sum);
+            }
+            """
+        ) == [10]
+
+    def test_for_loop(self):
+        assert printed(
+            """
+            void main() {
+                int product = 1;
+                for (int i = 1; i <= 5; i++) { product *= i; }
+                print_int(product);
+            }
+            """
+        ) == [120]
+
+    def test_break(self):
+        assert printed(
+            """
+            void main() {
+                int i = 0;
+                for (;;) { if (i == 3) { break; } i++; }
+                print_int(i);
+            }
+            """
+        ) == [3]
+
+    def test_continue(self):
+        assert printed(
+            """
+            void main() {
+                int sum = 0;
+                for (int i = 0; i < 6; i++) {
+                    if (i % 2 == 0) { continue; }
+                    sum += i;
+                }
+                print_int(sum);
+            }
+            """
+        ) == [9]
+
+    def test_short_circuit_and(self):
+        assert printed(
+            """
+            int g = 0;
+            int bump() { g++; return 1; }
+            void main() {
+                if (0 && bump()) { }
+                print_int(g);
+            }
+            """
+        ) == [0]
+
+    def test_short_circuit_or(self):
+        assert printed(
+            """
+            int g = 0;
+            int bump() { g++; return 1; }
+            void main() {
+                if (1 || bump()) { }
+                print_int(g);
+            }
+            """
+        ) == [0]
+
+    def test_logical_as_value(self):
+        assert printed(
+            "void main() { int r = (3 > 2) && (1 < 2); print_int(r); }"
+        ) == [1]
+
+    def test_nested_loops(self):
+        assert printed(
+            """
+            void main() {
+                int count = 0;
+                for (int i = 0; i < 4; i++) {
+                    for (int j = 0; j < i; j++) { count++; }
+                }
+                print_int(count);
+            }
+            """
+        ) == [6]
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert printed(
+            "int add(int a, int b) { return a + b; }"
+            "void main() { print_int(add(2, 3)); }"
+        ) == [5]
+
+    def test_recursion(self):
+        assert printed(
+            """
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            void main() { print_int(fib(10)); }
+            """
+        ) == [55]
+
+    def test_void_function(self):
+        assert printed(
+            """
+            int g = 0;
+            void bump() { g = g + 1; }
+            void main() { bump(); bump(); print_int(g); }
+            """
+        ) == [2]
+
+    def test_out_parameter_via_pointer(self):
+        assert printed(
+            """
+            void set(int* target, int value) { *target = value; }
+            void main() { int x = 0; set(&x, 42); print_int(x); }
+            """
+        ) == [42]
+
+    def test_float_return(self):
+        assert printed(
+            "float half(float v) { return v * 0.5f; }"
+            "void main() { print_float(half(5.0f)); }"
+        ) == [2.5]
+
+    def test_main_return_value(self):
+        result = run_source("int main() { return 7; }")
+        assert result.return_value == 7
+
+
+class TestGlobalsAndMemory:
+    def test_global_initialiser(self):
+        assert printed("int g = 99; void main() { print_int(g); }") == [99]
+
+    def test_global_array_indexing(self):
+        assert printed(
+            """
+            int g[5];
+            void main() {
+                for (int i = 0; i < 5; i++) { g[i] = i * i; }
+                print_int(g[3]);
+            }
+            """
+        ) == [9]
+
+    def test_pointer_walk(self):
+        assert printed(
+            """
+            int g[4];
+            void main() {
+                int* p = &g[0];
+                for (int i = 0; i < 4; i++) { *p = i + 1; p++; }
+                print_int(g[0] + g[3]);
+            }
+            """
+        ) == [5]
+
+    def test_pointer_difference(self):
+        assert printed(
+            """
+            int g[8];
+            void main() {
+                int* a = &g[1];
+                int* b = &g[6];
+                print_int(b - a);
+            }
+            """
+        ) == [5]
+
+    def test_struct_fields(self):
+        assert printed(
+            """
+            struct Vec { float x; float y; };
+            Vec g_v;
+            void main() {
+                g_v.x = 1.5f;
+                g_v.y = 2.5f;
+                print_float(g_v.x + g_v.y);
+            }
+            """
+        ) == [4.0]
+
+    def test_nested_struct_access(self):
+        assert printed(
+            """
+            struct Vec { float x; float y; };
+            struct Entity { Vec pos; int id; };
+            Entity g_e;
+            void main() {
+                g_e.pos.x = 3.0f;
+                g_e.id = 7;
+                print_float(g_e.pos.x);
+                print_int(g_e.id);
+            }
+            """
+        ) == [3.0, 7]
+
+    def test_struct_copy_assignment(self):
+        assert printed(
+            """
+            struct Vec { float x; float y; };
+            Vec g_a; Vec g_b;
+            void main() {
+                g_a.x = 1.0f; g_a.y = 2.0f;
+                g_b = g_a;
+                g_a.x = 9.0f;
+                print_float(g_b.x);
+                print_float(g_b.y);
+            }
+            """
+        ) == [1.0, 2.0]
+
+    def test_local_array(self):
+        assert printed(
+            """
+            void main() {
+                int scratch[4];
+                scratch[0] = 4; scratch[1] = 3;
+                print_int(scratch[0] + scratch[1]);
+            }
+            """
+        ) == [7]
+
+    def test_char_array_bytes(self):
+        assert printed(
+            """
+            char buf[4];
+            void main() {
+                buf[0] = 'H';
+                buf[1] = 'i';
+                print_char(buf[0]);
+                print_char(buf[1]);
+            }
+            """
+        ) == ["H", "i"]
+
+    def test_pointer_through_struct_field(self):
+        assert printed(
+            """
+            struct Node { int value; Node* next; };
+            Node g_a; Node g_b;
+            void main() {
+                g_a.value = 1; g_a.next = &g_b;
+                g_b.value = 2; g_b.next = null;
+                Node* p = &g_a;
+                int sum = 0;
+                while (p != null) { sum += p->value; p = p->next; }
+                print_int(sum);
+            }
+            """
+        ) == [3]

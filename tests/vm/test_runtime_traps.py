@@ -1,0 +1,136 @@
+"""Interpreter edge cases: traps, guards, and context plumbing."""
+
+import pytest
+
+from repro import CELL_LIKE, SMP_UNIFORM, Machine, compile_program
+from repro.errors import LocalStoreOverflow, MachineError, RuntimeTrap
+from repro.ir.instructions import Const, ICall, Intrinsic, OffloadJoin, Ret
+from repro.vm.context import FrameStack
+from repro.vm.interpreter import Interpreter, RunOptions, run_program
+from tests.conftest import run_source
+
+
+class TestTraps:
+    def test_instruction_budget(self):
+        source = "void main() { while (1) { } }"
+        options = RunOptions(max_instructions=10_000)
+        with pytest.raises(RuntimeTrap) as excinfo:
+            run_source(source, run_options=options)
+        assert "budget" in str(excinfo.value)
+
+    def test_bad_function_id_icall(self):
+        program = compile_program("void main() { }", CELL_LIKE)
+        main = program.functions["main"]
+        main.code = [
+            Const(dst=0, value=0xBAD),
+            ICall(dst=None, func_id=0, args=[]),
+            Ret(src=None),
+        ]
+        main.num_regs = 1
+        with pytest.raises(RuntimeTrap):
+            run_program(program, Machine(CELL_LIKE))
+
+    def test_join_on_bad_handle(self):
+        program = compile_program("void main() { }", CELL_LIKE)
+        main = program.functions["main"]
+        main.code = [
+            Const(dst=0, value=42),
+            OffloadJoin(handle=0),
+            Ret(src=None),
+        ]
+        main.num_regs = 1
+        with pytest.raises(RuntimeTrap):
+            run_program(program, Machine(CELL_LIKE))
+
+    def test_dma_on_machine_without_engine(self):
+        program = compile_program(
+            """
+            int g;
+            void main() {
+                __offload {
+                    int staging = 0;
+                    dma_get(&staging, &g, 4, 1);
+                    dma_wait(1);
+                };
+            }
+            """,
+            SMP_UNIFORM,
+        )
+        # On SMP this compiled to plain copies, so it must run fine.
+        run_program(program, Machine(SMP_UNIFORM))
+
+    def test_program_machine_mismatch(self):
+        program = compile_program("void main() { }", CELL_LIKE)
+        with pytest.raises(MachineError):
+            Interpreter(program, Machine(SMP_UNIFORM))
+
+    def test_deep_recursion_overflows_local_store(self):
+        source = """
+        int grow(int depth) {
+            int pad[512];
+            pad[0] = depth;
+            if (depth == 0) { return 0; }
+            return grow(depth - 1) + pad[0];
+        }
+        int g;
+        void main() {
+            __offload { g = grow(1000); };
+        }
+        """
+        with pytest.raises(LocalStoreOverflow):
+            run_source(source)
+
+    def test_host_stack_is_larger(self):
+        source = """
+        int grow(int depth) {
+            int pad[32];
+            pad[0] = depth;
+            if (depth == 0) { return 0; }
+            return grow(depth - 1) + pad[0];
+        }
+        void main() { print_int(grow(100)); }
+        """
+        assert run_source(source).printed == [sum(range(1, 101))]
+
+
+class TestFrameStack:
+    def test_push_pop(self):
+        stack = FrameStack(0, 1024, "test")
+        first = stack.push(100)
+        second = stack.push(100)
+        assert second >= first + 100
+        stack.pop(first)
+        assert stack.sp == first
+
+    def test_alignment(self):
+        stack = FrameStack(0, 1024, "test")
+        stack.push(3)
+        second = stack.push(8, alignment=32)
+        assert second % 32 == 0
+
+    def test_overflow_message_names_region(self):
+        stack = FrameStack(0, 128, "acc0 local-store")
+        with pytest.raises(LocalStoreOverflow) as excinfo:
+            stack.push(256)
+        assert "acc0 local-store" in str(excinfo.value)
+
+
+class TestOutputOrdering:
+    def test_accelerator_prints_tagged_with_core(self):
+        result = run_source(
+            """
+            void main() {
+                print_int(1);
+                __offload { print_int(2); };
+                print_int(3);
+            }
+            """
+        )
+        cores = [core for core, _ in result.output]
+        assert cores == ["host", "acc0", "host"]
+        assert result.printed == [1, 2, 3]
+
+    def test_run_result_perf_snapshot(self):
+        result = run_source("void main() { print_int(1); }")
+        assert result.perf()["vm.calls"] >= 1
+        assert result.host_cycles > 0

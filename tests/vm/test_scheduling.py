@@ -1,0 +1,109 @@
+"""Offload scheduling: accelerator selection, queueing, clock algebra."""
+
+from repro.machine.config import CELL_LIKE
+from tests.conftest import run_source
+
+
+def _n_offloads_source(count, work=200):
+    launches = "\n".join(
+        f"    __offload_handle_t h{i} = __offload {{ int w = 0;"
+        f" for (int k = 0; k < {work}; k++) {{ w += k; }} g_out[{i}] = w; }};"
+        for i in range(count)
+    )
+    joins = "\n".join(f"    __offload_join(h{i});" for i in range(count))
+    return f"""
+int g_out[{count}];
+void main() {{
+{launches}
+{joins}
+    int total = 0;
+    for (int i = 0; i < {count}; i++) {{ total += g_out[i]; }}
+    print_int(total);
+}}
+"""
+
+
+class TestScheduling:
+    def test_offloads_fill_all_accelerators(self):
+        result = run_source(_n_offloads_source(6))
+        busy = [a for a in result.machine.accelerators if a.clock.now > 0]
+        assert len(busy) == 6
+
+    def test_oversubscription_queues(self):
+        """12 offloads on 6 accelerators: each core runs two, and the
+        wall clock is roughly two serial rounds, not twelve."""
+        six = run_source(_n_offloads_source(6))
+        twelve = run_source(_n_offloads_source(12))
+        expected = sum(range(200)) * 12
+        assert twelve.printed == [expected]
+        busy = [a for a in twelve.machine.accelerators if a.clock.now > 0]
+        assert len(busy) == 6
+        assert twelve.cycles < six.cycles * 3
+
+    def test_least_loaded_accelerator_chosen(self):
+        """A short offload after a long one must not queue behind it."""
+        source = """
+        int g_a = 0; int g_b = 0;
+        void main() {
+            __offload_handle_t big = __offload {
+                int w = 0;
+                for (int k = 0; k < 3000; k++) { w += k; }
+                g_a = w;
+            };
+            __offload_handle_t small = __offload { g_b = 7; };
+            __offload_join(small);
+            __offload_join(big);
+            print_int(g_b);
+        }
+        """
+        result = run_source(source)
+        assert result.printed == [7]
+        accel_times = sorted(
+            a.clock.now for a in result.machine.accelerators if a.clock.now
+        )
+        assert len(accel_times) == 2
+        assert accel_times[0] < accel_times[1] / 2
+
+    def test_join_order_independent_of_launch_order(self):
+        source = """
+        int g_a = 0; int g_b = 0;
+        void main() {
+            __offload_handle_t first = __offload { g_a = 1; };
+            __offload_handle_t second = __offload { g_b = 2; };
+            __offload_join(second);
+            __offload_join(first);
+            print_int(g_a + g_b);
+        }
+        """
+        assert run_source(source).printed == [3]
+
+    def test_sequential_offloads_reuse_accelerators(self):
+        source = """
+        int g = 0;
+        void main() {
+            for (int i = 0; i < 4; i++) {
+                __offload { g = g + 1; };
+            }
+            print_int(g);
+        }
+        """
+        result = run_source(source)
+        assert result.printed == [4]
+
+    def test_host_clock_monotone_through_joins(self):
+        result = run_source(_n_offloads_source(3))
+        assert result.host_cycles == result.cycles  # host joined last
+
+    def test_duplicate_functions_shared_within_offload(self):
+        """Calling the same helper from two offloads compiles two
+        duplicates (per-offload binaries) that both execute correctly."""
+        source = """
+        int g;
+        int bump(int* p) { *p = *p + 1; return *p; }
+        void main() {
+            __offload { bump(&g); };
+            __offload { bump(&g); };
+            print_int(g);
+        }
+        """
+        assert run_source(source).printed == [2]
