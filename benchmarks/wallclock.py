@@ -1,0 +1,19 @@
+"""Wall-clock comparison of the two execution engines.
+
+Thin entry point over :mod:`repro.tools.bench` so the benchmark lives
+alongside the paper-experiment suites::
+
+    PYTHONPATH=src python benchmarks/wallclock.py [--quick] [--out BENCH_vm.json]
+
+Unlike the ``test_e*`` suites (which measure *simulated cycles* and are
+engine-independent by construction), this measures *host seconds*: how
+fast the simulator itself executes under the closure-compiled engine
+versus the reference decode loop, workload by workload.
+"""
+
+import sys
+
+from repro.tools.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

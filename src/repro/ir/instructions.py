@@ -26,6 +26,11 @@ class AccSpace(enum.Enum):
     OUTER = "outer"
 
 
+#: Comparison spellings of :class:`BinOp`; they produce 0/1 and ignore
+#: the signed/float flags.
+COMPARE_OPS = frozenset(("==", "!=", "<", "<=", ">", ">="))
+
+
 @dataclass
 class Instr:
     """Base instruction; ``comment`` aids IR dumps only."""
@@ -68,6 +73,12 @@ class BinOp(Instr):
     b: int = 0
     float_op: bool = False
     signed: bool = True
+    #: Derived (translator fast path): True for the 0/1-valued
+    #: comparison spellings, which ignore ``float_op``/``signed``.
+    is_compare: bool = field(init=False, repr=False, compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.is_compare = self.op in COMPARE_OPS
 
     def describe(self) -> str:
         suffix = "f" if self.float_op else ("s" if self.signed else "u")
@@ -93,6 +104,12 @@ class Load(Instr):
     space: AccSpace = AccSpace.MAIN
     signed: bool = True
     is_float: bool = False
+    #: Derived: ``(size, signed, is_float)`` — the scalar-codec key the
+    #: execution engines use to pick a cached ``struct.Struct``.
+    scalar_key: tuple = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        self.scalar_key = (self.size, self.signed, self.is_float)
 
     def describe(self) -> str:
         kind = "f" if self.is_float else ("s" if self.signed else "u")
@@ -108,6 +125,11 @@ class Store(Instr):
     size: int = 4
     space: AccSpace = AccSpace.MAIN
     is_float: bool = False
+    #: Derived: the wrap-to-width mask applied to integer stores.
+    mask: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.mask = (1 << (8 * self.size)) - 1
 
     def describe(self) -> str:
         kind = "f" if self.is_float else "i"
@@ -153,6 +175,15 @@ class Extract(Instr):
     const_offset: Optional[int] = None
     offset: int = 0
     signed: bool = True
+    #: Derived: value mask, sign bit and modulus for sign extension.
+    mask: int = field(init=False, repr=False, compare=False, default=0)
+    sign_bit: int = field(init=False, repr=False, compare=False, default=0)
+    modulus: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.mask = (1 << (8 * self.size)) - 1
+        self.sign_bit = 1 << (8 * self.size - 1)
+        self.modulus = 1 << (8 * self.size)
 
     def describe(self) -> str:
         where = (
@@ -172,6 +203,11 @@ class Insert(Instr):
     size: int = 1
     const_offset: Optional[int] = None
     offset: int = 0
+    #: Derived: value mask for the inserted field.
+    mask: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.mask = (1 << (8 * self.size)) - 1
 
     def describe(self) -> str:
         where = (

@@ -37,14 +37,6 @@ NUM_TAGS = 32
 GET = "get"
 PUT = "put"
 
-_next_serial = 0
-
-
-def _serial() -> int:
-    global _next_serial
-    _next_serial += 1
-    return _next_serial
-
 
 @dataclass(frozen=True)
 class DmaRequest:
@@ -58,7 +50,10 @@ class DmaRequest:
         size: Transfer length in bytes.
         issue_time: Cycle at which the issuing core posted the request.
         complete_time: Cycle at which the transfer finishes.
-        serial: Global issue order, used for deterministic reporting.
+        serial: Issue order within the owning engine (1-based), used for
+            deterministic reporting.  Per-engine rather than
+            process-global, so serials are reproducible regardless of
+            how many machines ran earlier in the same process.
     """
 
     kind: str
@@ -122,6 +117,7 @@ class DmaEngine:
         self.interconnect = interconnect
         self._in_flight: list[DmaRequest] = []
         self._channel_free = 0
+        self._next_serial = 0
 
     # ------------------------------------------------------------ issuing
 
@@ -156,6 +152,7 @@ class DmaEngine:
     ) -> DmaRequest:
         self._validate(tag, local_addr, outer_addr, size)
         complete = self._schedule(now, size)
+        self._next_serial += 1
         request = DmaRequest(
             kind=kind,
             tag=tag,
@@ -164,7 +161,7 @@ class DmaEngine:
             size=size,
             issue_time=now,
             complete_time=complete,
-            serial=_serial(),
+            serial=self._next_serial,
         )
         if self.observer is not None:
             self.observer(request, list(self._in_flight))
@@ -255,3 +252,4 @@ class DmaEngine:
         """Drop all in-flight state (used when resetting the machine)."""
         self._in_flight = []
         self._channel_free = 0
+        self._next_serial = 0

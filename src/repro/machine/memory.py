@@ -15,8 +15,37 @@ reach the memory system.
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
 from repro.errors import MemoryFault
+
+#: Pre-built codecs for the scalar shapes the VM actually moves, keyed by
+#: ``(size, signed, is_float)``.  Integer stores always go through the
+#: unsigned codec of the right width (callers mask first), so two's
+#: complement encodings round-trip without range errors.
+_SCALAR_CODECS: dict[tuple[int, bool, bool], struct.Struct] = {
+    (1, True, False): struct.Struct("<b"),
+    (1, False, False): struct.Struct("<B"),
+    (2, True, False): struct.Struct("<h"),
+    (2, False, False): struct.Struct("<H"),
+    (4, True, False): struct.Struct("<i"),
+    (4, False, False): struct.Struct("<I"),
+    (8, True, False): struct.Struct("<q"),
+    (8, False, False): struct.Struct("<Q"),
+    (4, True, True): struct.Struct("<f"),
+    (4, False, True): struct.Struct("<f"),
+    (8, True, True): struct.Struct("<d"),
+    (8, False, True): struct.Struct("<d"),
+}
+
+
+def scalar_codec(size: int, signed: bool, is_float: bool) -> Optional[struct.Struct]:
+    """The cached :class:`struct.Struct` for a scalar shape, or None.
+
+    Returns None for widths with no native codec (callers fall back to
+    ``int.from_bytes``/``int.to_bytes`` paths).
+    """
+    return _SCALAR_CODECS.get((size, signed, is_float))
 
 
 class MemorySpace:
@@ -42,11 +71,20 @@ class MemorySpace:
 
     # ---------------------------------------------------------------- raw
 
-    def _check(self, address: int, nbytes: int) -> None:
+    def check_bounds(self, address: int, nbytes: int) -> None:
+        """Raise :class:`MemoryFault` unless the byte range is in bounds.
+
+        Centralised so hot callers can test ``address < 0 or address +
+        nbytes > self.size`` inline with plain integer arithmetic and
+        only pay for diagnostic string formatting on the failure path.
+        """
         if address < 0 or address + nbytes > self.size:
             raise MemoryFault(
                 f"access of {nbytes} bytes out of bounds", self.name, address
             )
+
+    def _check(self, address: int, nbytes: int) -> None:
+        self.check_bounds(address, nbytes)
         if self.granularity > 1:
             if address % self.granularity or nbytes % self.granularity:
                 raise MemoryFault(
@@ -74,17 +112,13 @@ class MemorySpace:
         arbitrary byte ranges regardless of CPU-visible addressing rules).
         """
         if address < 0 or address + nbytes > self.size:
-            raise MemoryFault(
-                f"access of {nbytes} bytes out of bounds", self.name, address
-            )
+            self.check_bounds(address, nbytes)
         return bytes(self._data[address : address + nbytes])
 
     def write_unchecked(self, address: int, data: bytes) -> None:
         """Write bypassing the granularity rule (bounds still enforced)."""
         if address < 0 or address + len(data) > self.size:
-            raise MemoryFault(
-                f"access of {len(data)} bytes out of bounds", self.name, address
-            )
+            self.check_bounds(address, len(data))
         self._data[address : address + len(data)] = data
 
     # ------------------------------------------------------------- scalars
@@ -113,6 +147,41 @@ class MemorySpace:
 
     def store_f64(self, address: int, value: float) -> None:
         self.write(address, struct.pack("<d", value))
+
+    # ------------------------------------------------- scalar fast paths
+
+    def load_scalar(self, address: int, size: int, signed: bool, is_float: bool):
+        """Decode one scalar without materialising an intermediate bytes
+        object (granularity bypassed; bounds enforced)."""
+        if address < 0 or address + size > self.size:
+            self.check_bounds(address, size)
+        codec = _SCALAR_CODECS.get((size, signed, is_float))
+        if codec is not None:
+            return codec.unpack_from(self._data, address)[0]
+        return int.from_bytes(
+            self._data[address : address + size], "little", signed=signed
+        )
+
+    def store_scalar(
+        self, address: int, value, size: int, is_float: bool
+    ) -> None:
+        """Encode one scalar in place (granularity bypassed; bounds
+        enforced).  Integers are wrapped to ``size`` bytes, matching the
+        VM's two's-complement store semantics."""
+        if address < 0 or address + size > self.size:
+            self.check_bounds(address, size)
+        if is_float:
+            codec = _SCALAR_CODECS[(size, False, True)]
+            codec.pack_into(self._data, address, float(value))
+            return
+        mask = (1 << (8 * size)) - 1
+        codec = _SCALAR_CODECS.get((size, False, False))
+        if codec is not None:
+            codec.pack_into(self._data, address, int(value) & mask)
+            return
+        self._data[address : address + size] = (int(value) & mask).to_bytes(
+            size, "little"
+        )
 
     # --------------------------------------------------------------- misc
 

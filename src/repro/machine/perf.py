@@ -4,6 +4,17 @@ Every layer of the simulator (memory, DMA, interpreter, software caches,
 dispatch machinery) increments named counters here.  Benchmarks read them
 to report the quantities the paper talks about: virtual calls per frame,
 bytes moved between memory spaces, domain search steps, cache hit rates.
+
+Two APIs share one set of totals:
+
+* :meth:`PerfCounters.add` — the direct path; one dict update per call.
+* :meth:`PerfCounters.slot` — the batched path for hot loops: a
+  :class:`CounterSlot` is a named plain-int accumulator that callers
+  bump with ``slot.count += 1`` (no method call, no hashing).  Slots are
+  drained into the backing :class:`collections.Counter` lazily, on every
+  read (:meth:`get`, :meth:`as_dict`, :meth:`snapshot`, :meth:`ratio`,
+  iteration), so readers always observe exact totals regardless of which
+  path produced them.
 """
 
 from __future__ import annotations
@@ -12,38 +23,83 @@ from collections import Counter
 from typing import Iterator
 
 
+class CounterSlot:
+    """A batched accumulator for one counter name.
+
+    Hot paths increment :attr:`count` directly; the owning
+    :class:`PerfCounters` folds the pending value into its totals at
+    read/flush time.
+    """
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"CounterSlot(name={self.name!r}, pending={self.count})"
+
+
 class PerfCounters:
     """A bag of named monotonically increasing counters."""
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
+        self._slots: list[CounterSlot] = []
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (must be >= 0)."""
-        if amount < 0:
-            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        assert amount >= 0, f"counter increments must be >= 0, got {amount}"
         self._counts[name] += amount
+
+    def slot(self, name: str) -> CounterSlot:
+        """Return a batched accumulator feeding counter ``name``.
+
+        Multiple slots may share a name; their pending counts sum.
+        """
+        slot = CounterSlot(name)
+        self._slots.append(slot)
+        return slot
+
+    def flush(self) -> None:
+        """Fold every slot's pending count into the totals."""
+        for slot in self._slots:
+            if slot.count:
+                self._counts[slot.name] += slot.count
+                slot.count = 0
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
+        self.flush()
         return self._counts[name]
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter, including pending slot counts."""
+        for slot in self._slots:
+            slot.count = 0
         self._counts.clear()
 
     def as_dict(self) -> dict[str, int]:
         """A plain-dict snapshot, sorted by counter name."""
+        self.flush()
         return dict(sorted(self._counts.items()))
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict snapshot in insertion order (cheapest full read)."""
+        self.flush()
+        return dict(self._counts)
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``numerator / denominator`` as a float; 0.0 when undefined."""
+        self.flush()
         denom = self._counts[denominator]
         if denom == 0:
             return 0.0
         return self._counts[numerator] / denom
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
+        self.flush()
         return iter(sorted(self._counts.items()))
 
     def __repr__(self) -> str:

@@ -79,6 +79,16 @@ class SoftwareCache:
         self.write_through = write_through
         self._lines = [_Line() for _ in range(num_lines)]
         self._access_counter = 0
+        # line_size is a power of two, so address decomposition is a
+        # shift and a mask on the hot path.
+        self._line_shift = line_size.bit_length() - 1
+        self._offset_mask = line_size - 1
+        # Batched counters: the probe/hit/miss bookkeeping sits on every
+        # cached outer access, so increments are plain ints drained into
+        # the machine-wide PerfCounters on read.
+        self._probes = core.perf.slot("softcache.probes")
+        self._hits = core.perf.slot("softcache.hits")
+        self._misses = core.perf.slot("softcache.misses")
 
     # -------------------------------------------------------- organisation
 
@@ -89,6 +99,20 @@ class SoftwareCache:
     def _victim_slot(self, line_number: int) -> int:
         """Slot to evict when all candidates are occupied."""
         raise NotImplementedError
+
+    def _resident_slot(self, line_number: int) -> int | None:
+        """The slot currently holding ``line_number``, or None.
+
+        Pure lookup — no cycle charging, no counters.  Organisations
+        with a single candidate slot override this to avoid building a
+        candidate list per access (the probe fast path).
+        """
+        lines = self._lines
+        for slot in self._candidate_slots(line_number):
+            line = lines[slot]
+            if line.valid and line.tag == line_number:
+                return slot
+        return None
 
     def _prepare_victim(self, line_number: int, now: int) -> tuple[int, int]:
         """Choose the eviction slot, doing any time-charged shuffling.
@@ -110,14 +134,13 @@ class SoftwareCache:
     def _probe(self, line_number: int, now: int) -> tuple[int | None, int]:
         """Look the line up; returns (slot or None, time after probe)."""
         now += self.core.cost.cache_probe
-        self.core.perf.add("softcache.probes")
-        for slot in self._candidate_slots(line_number):
-            line = self._lines[slot]
-            if line.valid and line.tag == line_number:
-                self._touch(line)
-                self.core.perf.add("softcache.hits")
-                return slot, now
-        self.core.perf.add("softcache.misses")
+        self._probes.count += 1
+        slot = self._resident_slot(line_number)
+        if slot is not None:
+            self._touch(self._lines[slot])
+            self._hits.count += 1
+            return slot, now
+        self._misses.count += 1
         return None, now
 
     def _writeback(self, slot: int, now: int) -> int:
@@ -175,11 +198,30 @@ class SoftwareCache:
         """
         if size <= 0:
             raise ValueError(f"load size must be positive, got {size}")
+        ls = self.core.local_store
+        assert ls is not None
+        offset = outer_addr & self._offset_mask
+        if offset + size <= self.line_size:
+            # Fast path: the access is within one line and — in the
+            # common case — that line is resident, so the whole load is
+            # one inlined probe plus a local-store read.
+            line_number = outer_addr >> self._line_shift
+            now += self.core.cost.cache_probe
+            self._probes.count += 1
+            slot = self._resident_slot(line_number)
+            if slot is not None:
+                self._touch(self._lines[slot])
+                self._hits.count += 1
+            else:
+                self._misses.count += 1
+                slot, now = self._fill(line_number, now)
+            return (
+                ls.read_unchecked(self._slot_local_addr(slot) + offset, size),
+                now,
+            )
         parts: list[bytes] = []
         addr = outer_addr
         remaining = size
-        ls = self.core.local_store
-        assert ls is not None
         while remaining > 0:
             line_number = addr // self.line_size
             offset = addr % self.line_size
@@ -196,10 +238,20 @@ class SoftwareCache:
         """Write bytes to outer memory through the cache; returns time."""
         if not data:
             raise ValueError("store of zero bytes")
-        addr = outer_addr
-        view = memoryview(data)
         ls = self.core.local_store
         assert ls is not None
+        offset = outer_addr & self._offset_mask
+        if offset + len(data) <= self.line_size:
+            # Fast path mirroring load(): single line, no memoryview.
+            slot, now = self._ensure(outer_addr >> self._line_shift, now)
+            ls.write_unchecked(self._slot_local_addr(slot) + offset, data)
+            line = self._lines[slot]
+            line.dirty = True
+            if self.write_through:
+                now = self._writeback(slot, now)
+            return now
+        addr = outer_addr
+        view = memoryview(data)
         while view:
             line_number = addr // self.line_size
             offset = addr % self.line_size
@@ -245,6 +297,15 @@ class DirectMappedCache(SoftwareCache):
 
     def _victim_slot(self, line_number: int) -> int:
         return line_number % self.num_lines
+
+    def _resident_slot(self, line_number: int) -> int | None:
+        # Single candidate: no list allocation on the probe fast path
+        # (num_lines is a power of two, so % is a mask).
+        slot = line_number & (self.num_lines - 1)
+        line = self._lines[slot]
+        if line.valid and line.tag == line_number:
+            return slot
+        return None
 
 
 class SetAssociativeCache(SoftwareCache):
@@ -304,6 +365,21 @@ class VictimCache(DirectMappedCache):
 
     def _victim_slot(self, line_number: int) -> int:
         return self._primary_slot(line_number)
+
+    def _resident_slot(self, line_number: int) -> int | None:
+        # Not the direct-mapped fast path: the primary region is modulo
+        # primary_lines (not a power of two) and the victim buffer must
+        # be searched too.
+        lines = self._lines
+        slot = line_number % self.primary_lines
+        line = lines[slot]
+        if line.valid and line.tag == line_number:
+            return slot
+        for slot in self._victim_range():
+            line = lines[slot]
+            if line.valid and line.tag == line_number:
+                return slot
+        return None
 
     def _prepare_victim(self, line_number: int, now: int) -> tuple[int, int]:
         # Evict from the primary slot, but first move its current

@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--record-races", action="store_true",
         help="record DMA races instead of aborting on the first one",
     )
+    parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default=None,
+        help="execution engine (default: the compiled closure engine)",
+    )
     return parser
 
 
@@ -82,10 +86,15 @@ def main(argv: list[str] | None = None) -> int:
         print(format_program(program))
         return 0
     run_options = RunOptions(
-        racecheck="record" if args.record_races else "raise"
+        racecheck="record" if args.record_races else "raise",
+        engine=args.engine,
     )
     try:
         result = run_program(program, Machine(config), run_options)
+    except ValueError as error:
+        # e.g. an unknown engine name in REPRO_VM_ENGINE
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"runtime error: {error}", file=sys.stderr)
         return 2

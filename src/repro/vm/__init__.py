@@ -6,6 +6,22 @@ parallelism is modelled by clock combination at launch/join points, so
 measured cycle counts are exactly reproducible run to run.
 """
 
-from repro.vm.interpreter import Interpreter, RunOptions, RunResult, run_program
+from repro.vm.compiled import CompiledInterpreter
+from repro.vm.interpreter import (
+    DEFAULT_ENGINE,
+    Interpreter,
+    RunOptions,
+    RunResult,
+    make_interpreter,
+    run_program,
+)
 
-__all__ = ["Interpreter", "RunOptions", "RunResult", "run_program"]
+__all__ = [
+    "CompiledInterpreter",
+    "DEFAULT_ENGINE",
+    "Interpreter",
+    "RunOptions",
+    "RunResult",
+    "make_interpreter",
+    "run_program",
+]

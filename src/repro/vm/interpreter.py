@@ -13,6 +13,7 @@ concurrency — while clock arithmetic models the overlap, so joins see
 from __future__ import annotations
 
 import math
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Optional
@@ -62,6 +63,13 @@ ACCESSOR_TAG = 28
 
 _U32 = 0xFFFFFFFF
 
+#: Execution engine used when :class:`RunOptions` does not name one.
+#: ``"compiled"`` is the closure-compiled engine
+#: (:mod:`repro.vm.compiled`); ``"reference"`` is the decode loop in this
+#: module.  Both are cycle- and counter-identical; only host wall-clock
+#: differs.  Overridable for a whole process via ``REPRO_VM_ENGINE``.
+DEFAULT_ENGINE = os.environ.get("REPRO_VM_ENGINE", "compiled")
+
 
 def _wrap_signed(value: int) -> int:
     return ((value + 0x80000000) & _U32) - 0x80000000
@@ -94,12 +102,19 @@ class RunOptions:
             disables checking.
         check_dma_discipline: Trap local-store reads that overlap a DMA
             get still in flight (read-before-wait bugs).
-        max_instructions: Runaway-program guard.
+        max_instructions: Runaway-program guard.  The reference engine
+            checks it per instruction; the compiled engine at basic-block
+            granularity (so a runaway program may execute up to one block
+            past the budget before trapping).
+        engine: ``"compiled"`` (closure-compiled dispatch, the default)
+            or ``"reference"`` (the legacy decode loop).  None picks
+            :data:`DEFAULT_ENGINE`.
     """
 
     racecheck: Optional[str] = "raise"
     check_dma_discipline: bool = True
     max_instructions: int = 200_000_000
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -738,11 +753,30 @@ class Interpreter:
         ctx.core.perf.add("offload.joins")
 
 
+def make_interpreter(
+    program: IRProgram,
+    machine: Machine,
+    options: Optional[RunOptions] = None,
+) -> Interpreter:
+    """Build the execution engine selected by ``options.engine``."""
+    options = options or RunOptions()
+    engine = options.engine or DEFAULT_ENGINE
+    if engine == "reference":
+        return Interpreter(program, machine, options)
+    if engine == "compiled":
+        from repro.vm.compiled import CompiledInterpreter
+
+        return CompiledInterpreter(program, machine, options)
+    raise ValueError(
+        f"unknown execution engine {engine!r}; choose 'compiled' or 'reference'"
+    )
+
+
 def run_program(
     program: IRProgram,
     machine: Machine,
     options: Optional[RunOptions] = None,
     entry: Optional[str] = None,
 ) -> RunResult:
-    """Convenience wrapper: interpret ``program`` on ``machine``."""
-    return Interpreter(program, machine, options).run(entry)
+    """Convenience wrapper: execute ``program`` on ``machine``."""
+    return make_interpreter(program, machine, options).run(entry)

@@ -53,8 +53,41 @@ class TestPerfCounters:
         assert perf.get("hits") == 5
 
     def test_negative_increment_rejected(self):
-        with pytest.raises(ValueError):
+        # Hot-path invariant: checked by assert, so only under __debug__.
+        with pytest.raises(AssertionError):
             PerfCounters().add("x", -1)
+
+    def test_slot_batches_into_totals(self):
+        perf = PerfCounters()
+        slot = perf.slot("hits")
+        slot.count += 3
+        perf.add("hits", 2)
+        # Reads drain pending slot counts, so both paths sum.
+        assert perf.get("hits") == 5
+        slot.count += 1
+        assert perf.as_dict() == {"hits": 6}
+
+    def test_slots_sharing_a_name_sum(self):
+        perf = PerfCounters()
+        a = perf.slot("n")
+        b = perf.slot("n")
+        a.count += 2
+        b.count += 5
+        assert perf.get("n") == 7
+
+    def test_reset_clears_pending_slot_counts(self):
+        perf = PerfCounters()
+        slot = perf.slot("n")
+        slot.count += 9
+        perf.reset()
+        assert perf.get("n") == 0
+
+    def test_snapshot_includes_pending(self):
+        perf = PerfCounters()
+        perf.add("direct", 1)
+        slot = perf.slot("batched")
+        slot.count += 4
+        assert perf.snapshot() == {"direct": 1, "batched": 4}
 
     def test_ratio(self):
         perf = PerfCounters()

@@ -143,3 +143,33 @@ class TestPerfAccounting:
         t = acc.dma.get(1, 0, 0x1000, 8, 0)
         done = acc.dma.wait(1, t)
         assert done <= acc.cost.dma_latency + 10
+
+
+class TestSerials:
+    def test_serials_are_per_engine_and_start_at_one(self):
+        machine = Machine(CELL_LIKE)
+        first = machine.accelerator(0)
+        second = machine.accelerator(1)
+        first.dma.get(0, 0, 0x1000, 16, 0)
+        first.dma.get(0, 0, 0x1000, 16, 0)
+        second.dma.get(0, 0, 0x1000, 16, 0)
+        assert [r.serial for r in first.dma.in_flight] == [1, 2]
+        assert [r.serial for r in second.dma.in_flight] == [1]
+
+    def test_serials_reproducible_across_machines(self):
+        """Serials must not depend on how many machines ran earlier in
+        the process (they used to come from a module-global counter)."""
+
+        def issue(machine):
+            dma = machine.accelerator(0).dma
+            dma.get(2, 0, 0x2000, 32, 0)
+            dma.put(3, 0, 0x3000, 32, 0)
+            return [r.serial for r in dma.in_flight]
+
+        assert issue(Machine(CELL_LIKE)) == issue(Machine(CELL_LIKE))
+
+    def test_reset_restarts_serials(self, acc):
+        acc.dma.get(1, 0, 0x1000, 8, 0)
+        acc.dma.reset()
+        acc.dma.get(1, 0, 0x1000, 8, 0)
+        assert [r.serial for r in acc.dma.in_flight] == [1]

@@ -1,0 +1,263 @@
+"""Differential tests: the compiled engine against the reference engine.
+
+The closure-compiled engine (:mod:`repro.vm.compiled`) promises to be
+*bit-identical* to the reference decode loop: same printed output, same
+return value, same simulated cycle counts, same perf counters, same trap
+messages.  This suite enforces that promise over every paper workload,
+every machine configuration, a randomized IR fuzz corpus, and the trap
+paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.errors import RuntimeTrap
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.game.sources import (
+    ai_kernel_source,
+    component_system_source,
+    figure1_source,
+    figure2_source,
+    game_demo_source,
+    move_loop_source,
+    word_struct_source,
+)
+from repro.vm.interpreter import RunOptions, make_interpreter, run_program
+from repro.vm.compiled import CompiledInterpreter
+from tests.properties.test_differential_fuzzing import ProgramBuilder
+
+CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+
+def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
+    """Run one source under both engines on fresh machines.
+
+    Returns the two :class:`RunResult`\\ s after asserting that every
+    observable — output, return value, cycle counts, the full perf
+    counter dict, and recorded races — is identical.
+    """
+    program = compile_program(source, config, compile_options)
+    results = []
+    for engine in ("reference", "compiled"):
+        options = run_options or RunOptions()
+        options = RunOptions(
+            racecheck=options.racecheck,
+            check_dma_discipline=options.check_dma_discipline,
+            max_instructions=options.max_instructions,
+            engine=engine,
+        )
+        results.append(run_program(program, Machine(config), options))
+    ref, compiled = results
+    assert compiled.output == ref.output
+    assert compiled.return_value == ref.return_value
+    assert compiled.cycles == ref.cycles
+    assert compiled.host_cycles == ref.host_cycles
+    assert compiled.machine.perf.as_dict() == ref.machine.perf.as_dict()
+    assert [r.describe() for r in compiled.races] == [
+        r.describe() for r in ref.races
+    ]
+    return ref, compiled
+
+
+WORKLOADS = {
+    "figure1": (figure1_source(), CELL_LIKE, None),
+    "figure2-offloaded": (figure2_source(), CELL_LIKE, None),
+    "figure2-sequential": (
+        figure2_source(offloaded=False),
+        CELL_LIKE,
+        None,
+    ),
+    "figure2-cached": (
+        figure2_source(cache="direct"),
+        CELL_LIKE,
+        None,
+    ),
+    "figure2-smp": (figure2_source(), SMP_UNIFORM, None),
+    "components": (
+        component_system_source(num_types=5, entities_per_type=5),
+        CELL_LIKE,
+        None,
+    ),
+    "components-specialized": (
+        component_system_source(
+            num_types=5, entities_per_type=5, specialized=True
+        ),
+        CELL_LIKE,
+        None,
+    ),
+    "ai-kernel-direct": (ai_kernel_source(entity_count=16), CELL_LIKE, None),
+    "ai-kernel-victim": (
+        ai_kernel_source(entity_count=16, cache="victim"),
+        CELL_LIKE,
+        None,
+    ),
+    "ai-kernel-setassoc": (
+        ai_kernel_source(entity_count=16, cache="setassoc"),
+        CELL_LIKE,
+        None,
+    ),
+    "move-loop-raw": (move_loop_source(), CELL_LIKE, None),
+    "move-loop-accessor": (
+        move_loop_source(use_accessor=True, cache="direct"),
+        CELL_LIKE,
+        None,
+    ),
+    "word-struct": (word_struct_source(), DSP_WORD, None),
+    "word-struct-emulate": (
+        word_struct_source(),
+        DSP_WORD,
+        CompileOptions(wordaddr_mode="emulate"),
+    ),
+    "game-demo": (
+        game_demo_source(entity_count=12, pair_count=8, particles=8),
+        CELL_LIKE,
+        None,
+    ),
+    "game-demo-optimized": (
+        game_demo_source(entity_count=12, pair_count=8, particles=8),
+        CELL_LIKE,
+        CompileOptions(optimize=True),
+    ),
+    "game-demo-demand": (
+        game_demo_source(entity_count=12, pair_count=8, particles=8),
+        CELL_LIKE,
+        CompileOptions(demand_load=True),
+    ),
+}
+
+
+class TestPaperWorkloads:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_engines_identical(self, name):
+        source, config, options = WORKLOADS[name]
+        ref, compiled = run_both(source, config, options)
+        assert compiled.printed  # the workload actually did something
+
+
+class TestFuzzCorpus:
+    """Randomized well-typed programs, both engines, fixed seeds."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_engines_identical(self, seed):
+        rng = random.Random(seed)
+        offloaded = bool(seed % 2)
+        source = ProgramBuilder(rng, offloaded).build(5)
+        config = CELL_LIKE if seed % 4 < 2 else SMP_UNIFORM
+        options = CompileOptions(optimize=bool(seed % 3 == 0))
+        run_both(source, config, options)
+
+
+class TestTrapEquivalence:
+    """Trap paths must raise the same exception with the same message."""
+
+    def _trap_both(self, source, config=CELL_LIKE, max_instructions=None):
+        program = compile_program(source, config)
+        messages = []
+        for engine in ("reference", "compiled"):
+            options = RunOptions(engine=engine)
+            if max_instructions is not None:
+                options.max_instructions = max_instructions
+            with pytest.raises(RuntimeTrap) as excinfo:
+                run_program(program, Machine(config), options)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        return messages[0]
+
+    def test_division_by_zero(self):
+        message = self._trap_both(
+            "void main() { int z = 0; print_int(4 / z); }"
+        )
+        assert "division by zero" in message
+
+    def test_remainder_by_zero(self):
+        message = self._trap_both(
+            "void main() { int z = 0; print_int(4 % z); }"
+        )
+        assert "remainder by zero" in message
+
+    def test_instruction_budget(self):
+        message = self._trap_both(
+            "void main() { int i = 0; while (i < 100000) { i = i + 1; } }",
+            max_instructions=5_000,
+        )
+        assert message == "instruction budget exceeded (5000)"
+
+    def test_null_function_pointer_call(self):
+        source = """
+        int twice(int x) { return x * 2; }
+        void main() {
+            int (*op)(int) = null;
+            print_int(op(3));
+        }
+        """
+        message = self._trap_both(source)
+        assert "indirect call" in message or "null" in message
+
+    def test_bad_indirect_call_hand_built_ir(self):
+        from repro.ir.instructions import Const, ICall, Ret
+
+        program = compile_program("void main() { }", CELL_LIKE)
+        main = program.functions["main"]
+        main.code = [
+            Const(dst=0, value=0xBAD),
+            ICall(dst=None, func_id=0, args=[]),
+            Ret(src=None),
+        ]
+        main.num_regs = 1
+        messages = []
+        for engine in ("reference", "compiled"):
+            with pytest.raises(RuntimeTrap) as excinfo:
+                run_program(
+                    program, Machine(CELL_LIKE), RunOptions(engine=engine)
+                )
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        assert "indirect call through bad function id 0xbad" in messages[0]
+
+
+class TestDeterminism:
+    """The compiled engine itself is deterministic run-to-run, and its
+    per-function ops cache survives across machines without leaking
+    state between runs."""
+
+    def test_repeat_runs_identical(self):
+        program = compile_program(figure2_source(), CELL_LIKE)
+        first = run_program(
+            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+        )
+        second = run_program(
+            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+        )
+        assert first.printed == second.printed
+        assert first.cycles == second.cycles
+        assert (
+            first.machine.perf.as_dict() == second.machine.perf.as_dict()
+        )
+
+    def test_ops_cached_on_function(self):
+        program = compile_program(figure1_source(), CELL_LIKE)
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="compiled"))
+        entry = program.function(program.entry)
+        ops = entry._cc_ops
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="compiled"))
+        assert entry._cc_ops is ops  # second run reused the translation
+
+    def test_engine_selection(self):
+        program = compile_program(figure1_source(), CELL_LIKE)
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+        )
+        assert isinstance(interp, CompiledInterpreter)
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="reference")
+        )
+        assert not isinstance(interp, CompiledInterpreter)
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            make_interpreter(
+                program, Machine(CELL_LIKE), RunOptions(engine="jit")
+            )
