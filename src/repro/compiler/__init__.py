@@ -1,6 +1,12 @@
 """The Offload compiler: AST -> IR for a specific target machine.
 
-Stages:
+The pipeline is an explicit pass manager
+(:mod:`repro.compiler.passes`) running
+
+    parse -> sema -> layout -> domains -> offload-meta -> lower-host
+          -> drain-duplicates -> optimize -> validate
+
+over these building blocks:
 
 1. :mod:`repro.compiler.layout` — place globals and vtables in main
    memory, assign host function ids (the simulated "host addresses"
@@ -12,10 +18,21 @@ Stages:
    checking happens here, where spaces are concrete.
 3. :mod:`repro.compiler.domains` — build the Figure 3 outer/inner
    domain tables from ``domain(...)`` annotations.
-4. :mod:`repro.compiler.driver` — ties it together:
-   :func:`compile_program`.
+4. :mod:`repro.compiler.driver` — shared compiler state plus the
+   public entry point :func:`compile_program`, which consults
+5. :mod:`repro.compiler.cache` — the content-addressed compile cache
+   over serialized program artifacts (:mod:`repro.ir.serialize`).
 """
 
+from repro.compiler.cache import CompileCache, compile_cache_key
 from repro.compiler.driver import CompileOptions, compile_program
+from repro.compiler.passes import Pass, PassManager
 
-__all__ = ["CompileOptions", "compile_program"]
+__all__ = [
+    "CompileCache",
+    "CompileOptions",
+    "Pass",
+    "PassManager",
+    "compile_cache_key",
+    "compile_program",
+]

@@ -1,0 +1,212 @@
+"""Content-addressed compile cache.
+
+``compile_program()`` on a service that fields the same programs over
+and over (the ROADMAP's compile-once-run-many shape) should pay the
+parse -> sema -> lower pipeline once per distinct compilation, not once
+per request.  This module provides the cache ``repro.compiler.driver``
+consults:
+
+* **Key**: sha256 over canonical JSON of the *semantic inputs* — the
+  source fingerprint (:func:`repro.lang.source.source_fingerprint`),
+  the full target :class:`~repro.machine.config.MachineConfig`
+  (including its cost model) and every
+  :class:`~repro.compiler.driver.CompileOptions` field — plus the
+  artifact format version.  Filenames are excluded on purpose: they
+  affect diagnostics only, never generated code.
+* **Value**: the serialized program artifact
+  (:mod:`repro.ir.serialize`), stored on disk under
+  ``<dir>/<key[:2]>/<key>.json`` with atomic writes, plus an in-memory
+  text layer so a warm process never re-reads the file.
+* **Safety**: ``load`` always *deserializes a fresh program object
+  graph*; callers may mutate what they get back without poisoning later
+  hits.  Corrupt or version-skewed entries are treated as misses and
+  overwritten, never propagated.
+
+Activation: pass a :class:`CompileCache` to ``compile_program``
+explicitly, or set ``REPRO_COMPILE_CACHE=<directory>`` to switch every
+``compile_program`` call in the process to a shared on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import tempfile
+from typing import Optional, TYPE_CHECKING
+
+from repro.ir.serialize import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    program_from_json,
+    program_to_json,
+    to_canonical_json,
+)
+from repro.lang.source import source_fingerprint
+from repro.machine.config import MachineConfig
+
+if TYPE_CHECKING:
+    from repro.compiler.driver import CompileOptions
+    from repro.ir.module import IRProgram
+
+#: Environment variable naming the process-wide cache directory.
+CACHE_ENV_VAR = "REPRO_COMPILE_CACHE"
+
+
+def compile_cache_key(
+    source: str, config: MachineConfig, options: "CompileOptions"
+) -> str:
+    """The content address of one compilation.
+
+    Two calls share a key exactly when nothing that can influence the
+    generated artifact differs: same (fingerprinted) source text, same
+    target machine description down to individual cycle costs, same
+    compiler options, same artifact format version.
+    """
+    material = to_canonical_json(
+        {
+            "artifact_version": ARTIFACT_VERSION,
+            "source": source_fingerprint(source),
+            "config": dataclasses.asdict(config),
+            "options": dataclasses.asdict(options),
+        }
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`CompileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions_bad: int = 0  # corrupt/version-skewed entries discarded
+
+
+class CompileCache:
+    """On-disk, content-addressed store of compiled program artifacts.
+
+    Args:
+        directory: Cache root; created on first store.  Safe to share
+            between processes — writes are atomic renames and readers
+            only ever see complete artifacts.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.stats = CacheStats()
+        #: key -> artifact JSON text; avoids disk reads on a warm
+        #: process while still deserializing fresh objects per load.
+        self._text: dict[str, str] = {}
+
+    # -------------------------------------------------------------- paths
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._text or os.path.exists(self.path_for(key))
+
+    # ---------------------------------------------------------------- API
+
+    def load(self, key: str) -> Optional["IRProgram"]:
+        """A fresh program for ``key``, or None on a miss."""
+        text = self._text.get(key)
+        if text is None:
+            path = self.path_for(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                self.stats.misses += 1
+                return None
+        try:
+            program = program_from_json(text)
+            program.validate()
+        except (ArtifactError, ValueError, KeyError, TypeError):
+            # Corrupt, truncated or version-skewed entry: drop it and
+            # recompile rather than surfacing a broken program.
+            self._text.pop(key, None)
+            self._discard(key)
+            self.stats.evictions_bad += 1
+            self.stats.misses += 1
+            return None
+        self._text[key] = text
+        self.stats.hits += 1
+        return program
+
+    def store(self, key: str, program: "IRProgram") -> None:
+        """Persist ``program`` under ``key`` (atomic, last-writer-wins)."""
+        text = program_to_json(program)
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._text[key] = text
+        self.stats.stores += 1
+
+    def _discard(self, key: str) -> None:
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Drop every entry (in memory and on disk)."""
+        self._text.clear()
+        if not os.path.isdir(self.directory):
+            return
+        for shard in os.listdir(self.directory):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(shard_dir, name))
+                    except OSError:
+                        pass
+
+
+#: Process-wide caches keyed by directory, so every ``compile_program``
+#: call under one ``REPRO_COMPILE_CACHE`` shares the in-memory layer.
+_CACHES: dict[str, CompileCache] = {}
+
+
+def cache_at(directory: str) -> CompileCache:
+    """The shared :class:`CompileCache` for ``directory``."""
+    directory = os.path.abspath(directory)
+    cache = _CACHES.get(directory)
+    if cache is None:
+        cache = _CACHES[directory] = CompileCache(directory)
+    return cache
+
+
+def resolve_cache(
+    explicit: Optional[CompileCache] = None,
+) -> Optional[CompileCache]:
+    """The cache ``compile_program`` should use, if any.
+
+    An explicit cache wins; otherwise a non-empty ``REPRO_COMPILE_CACHE``
+    selects the shared cache for that directory; otherwise caching is
+    off.
+    """
+    if explicit is not None:
+        return explicit
+    directory = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if not directory:
+        return None
+    return cache_at(directory)

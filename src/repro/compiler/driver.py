@@ -1,24 +1,33 @@
 """The compiler driver: source text -> :class:`repro.ir.IRProgram`.
 
-Pipeline: parse -> sema -> layout -> lower host instances -> process the
-accelerator duplication worklist (offload entries and per-signature
-function duplicates) -> build domain tables -> validate.
+The pipeline itself lives in :mod:`repro.compiler.passes` as an explicit
+pass manager (parse -> sema -> layout -> domains -> offload-meta ->
+lower-host -> drain-duplicates -> optimize -> validate).  This module
+keeps the pieces the passes share: :class:`CompileOptions`, the
+:class:`Compiler` state object (layout, duplication worklist, the
+growing program) and the public :func:`compile_program` entry point,
+which consults the content-addressed compile cache
+(:mod:`repro.compiler.cache`) before running the passes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.lang import ast
 from repro.lang.parser import parse_program
 from repro.lang.sema import SemanticInfo, analyze
 from repro.lang.types import ClassType
-from repro.ir.module import IRProgram, OffloadMeta
+from repro.ir.module import IRProgram
 from repro.machine.config import MachineConfig
-from repro.compiler import domains as domains_mod
-from repro.compiler.layout import LayoutResult, apply_layout, compute_layout
+from repro.runtime.cachekinds import CACHE_KIND_CHOICES
+from repro.compiler.layout import LayoutResult, compute_layout
 from repro.compiler.lower import FunctionLowerer, OffloadEntryLowerer
+
+if TYPE_CHECKING:
+    from repro.compiler.cache import CompileCache
 
 
 @dataclass(frozen=True)
@@ -33,7 +42,9 @@ class CompileOptions:
             kept for the E8 benchmark).
         default_cache: Cache kind used by offload blocks without an
             explicit ``cache(...)`` annotation: "none" (raw per-access
-            DMA), "direct", "setassoc" or "victim".
+            DMA), "direct", "setassoc" or "victim" (the
+            :data:`repro.runtime.cachekinds.CACHE_KIND_CHOICES`
+            registry).
         optimize: Run the IR optimisation pipeline (constant folding,
             copy propagation, dead code elimination) on every function.
         demand_load: Compile an all-outer duplicate of *every* virtual
@@ -56,12 +67,22 @@ class CompileOptions:
                 f"wordaddr_mode must be 'hybrid' or 'emulate', "
                 f"got {self.wordaddr_mode!r}"
             )
-        if self.default_cache not in ("none", "direct", "setassoc", "victim"):
+        if self.default_cache not in CACHE_KIND_CHOICES:
             raise ValueError(f"unknown default cache {self.default_cache!r}")
 
 
+def offload_entry_name(offload_id: int) -> str:
+    """Mangled name of the IR entry function for one offload block."""
+    return f"__offload_{offload_id}"
+
+
 class Compiler:
-    """Compiles one analysed program for one target machine config."""
+    """Shared state while compiling one analysed program for one target.
+
+    The pass manager drives the pipeline; this object carries what the
+    passes and the lowerers both need: the layout, the automatic
+    call-graph duplication worklist, and the program being built.
+    """
 
     def __init__(
         self,
@@ -75,7 +96,7 @@ class Compiler:
         word_align = config.word_size if config.word_addressed else 1
         self.layout: LayoutResult = compute_layout(info, word_align)
         self.program = IRProgram(target_name=config.name)
-        self._worklist: list[tuple] = []
+        self._worklist: deque[tuple] = deque()
         self._scheduled: set[str] = set()
 
     # ------------------------------------------------------------ requests
@@ -100,20 +121,21 @@ class Compiler:
         return name
 
     def request_offload_entry(self, offload: ast.OffloadExpr) -> str:
-        name = f"__offload_{offload.offload_id}"
+        name = offload_entry_name(offload.offload_id)
         if name not in self._scheduled:
             self._scheduled.add(name)
             self._worklist.append(("entry", offload, name))
         return name
 
-    # -------------------------------------------------------------- passes
+    # -------------------------------------------------------- pass bodies
 
     def _owner_of(self, decl: ast.FuncDecl) -> Optional[ClassType]:
         if decl.owner is None:
             return None
         return self.info.classes[decl.owner]
 
-    def _lower_host_instances(self) -> None:
+    def lower_host_instances(self) -> None:
+        """Lower every source function's host instance (``lower-host``)."""
         for qname in sorted(self.info.functions):
             decl = self.info.functions[qname]
             lowerer = FunctionLowerer(
@@ -127,9 +149,13 @@ class Compiler:
             )
             self.program.functions[qname] = lowerer.compile()
 
-    def _drain_worklist(self) -> None:
-        while self._worklist:
-            job = self._worklist.pop(0)
+    def drain_worklist(self) -> None:
+        """Lower queued offload entries and accelerator duplicates FIFO
+        until none remain (``drain-duplicates``) — lowering one duplicate
+        may enqueue more."""
+        worklist = self._worklist
+        while worklist:
+            job = worklist.popleft()
             if job[0] == "entry":
                 _, offload, name = job
                 lowerer = OffloadEntryLowerer(self, offload, name)
@@ -147,50 +173,41 @@ class Compiler:
                 )
                 self.program.functions[name] = lowerer.compile()
 
-    def _build_offload_meta(self) -> None:
-        for offload in self.info.offloads:
-            entry = self.request_offload_entry(offload)
-            table = domains_mod.build_domain_table(self, offload)
-            if self.options.demand_load and not self.config.shared_memory:
-                domains_mod.add_demand_entries(self, offload, table)
-            cache_kind = offload.cache_kind or self.options.default_cache
-            self.program.offload_meta[offload.offload_id] = OffloadMeta(
-                offload_id=offload.offload_id,
-                entry=entry,
-                cache_kind=None if cache_kind == "none" else cache_kind,
-                domain=table,
-                annotation_count=len(offload.domain),
-                capture_names=[s.name for s in offload.captures],
-            )
-
-    def compile(self) -> IRProgram:
-        apply_layout(self.program, self.layout)
-        self._build_offload_meta()
-        self._lower_host_instances()
-        self._drain_worklist()
-        if self.options.optimize:
-            from repro.compiler.optimize import optimize_program
-
-            optimize_program(self.program.functions)
-        self.program.validate()
-        return self.program
-
 
 def compile_program(
     source: str,
     config: MachineConfig,
     options: Optional[CompileOptions] = None,
     filename: str = "<input>",
+    cache: Optional["CompileCache"] = None,
 ) -> IRProgram:
     """Compile OffloadMini source text for a target machine.
+
+    When a compile cache is available — passed explicitly, or activated
+    process-wide by pointing ``REPRO_COMPILE_CACHE`` at a directory —
+    the (source, target config, options) triple is hashed and a stored
+    artifact is deserialized instead of re-running the pass pipeline.
+    Cached or fresh, the returned program is a freshly built object
+    graph, never shared with earlier calls.
 
     Raises :class:`repro.errors.CompileError` (or a subclass) on any
     lexical, syntactic, semantic or memory-space error.
     """
-    program_ast = parse_program(source, filename)
-    info = analyze(program_ast)
-    compiler = Compiler(info, config, options or CompileOptions())
-    return compiler.compile()
+    from repro.compiler.cache import compile_cache_key, resolve_cache
+    from repro.compiler.passes import PassManager
+
+    options = options or CompileOptions()
+    cache = resolve_cache(cache)
+    key = None
+    if cache is not None:
+        key = compile_cache_key(source, config, options)
+        cached = cache.load(key)
+        if cached is not None:
+            return cached
+    ctx = PassManager.default().run(source, config, options, filename)
+    if cache is not None and key is not None:
+        cache.store(key, ctx.program)
+    return ctx.program
 
 
 def analyze_source(source: str, filename: str = "<input>") -> SemanticInfo:

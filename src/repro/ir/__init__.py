@@ -37,9 +37,21 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import IRFunction, IRProgram, OffloadMeta
 from repro.ir.printer import format_function, format_program
+from repro.ir.serialize import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    load_program,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+    save_program,
+)
 
 __all__ = [
+    "ARTIFACT_VERSION",
     "AccSpace",
+    "ArtifactError",
     "BinOp",
     "CJump",
     "Call",
@@ -67,4 +79,10 @@ __all__ = [
     "UnOp",
     "format_function",
     "format_program",
+    "load_program",
+    "program_from_dict",
+    "program_from_json",
+    "program_to_dict",
+    "program_to_json",
+    "save_program",
 ]

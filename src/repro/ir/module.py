@@ -76,6 +76,15 @@ class OffloadMeta:
     annotation_count: int
     capture_names: list[str] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        from repro.runtime.cachekinds import SOFT_CACHE_KINDS
+
+        if self.cache_kind is not None and self.cache_kind not in SOFT_CACHE_KINDS:
+            raise ValueError(
+                f"OffloadMeta cache_kind must be None or one of "
+                f"{SOFT_CACHE_KINDS}, got {self.cache_kind!r}"
+            )
+
 
 @dataclass
 class IRProgram:
@@ -112,6 +121,21 @@ class IRProgram:
             raise ValueError(f"entry function {self.entry!r} missing")
         for function in self.functions.values():
             function.resolve_labels()
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-safe artifact dict (see :mod:`repro.ir.serialize`)."""
+        from repro.ir.serialize import program_to_dict
+
+        return program_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IRProgram":
+        """Reconstruct a program from :meth:`to_dict` output."""
+        from repro.ir.serialize import program_from_dict
+
+        return program_from_dict(data)
 
     # ------------------------------------------------------------ metrics
 

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.errors import Diagnostic, SourceSpan, TypeCheckError
 from repro.lang import ast
+from repro.runtime.cachekinds import CACHE_KIND_CHOICES, is_cache_kind
 from repro.lang.symbols import Scope, Symbol, SymbolKind
 from repro.lang.types import (
     BOOL,
@@ -1283,16 +1284,11 @@ class SemanticAnalyzer:
         self._next_offload_id += 1
         expr.enclosing_function = self._current_function  # type: ignore[attr-defined]
         self._resolve_domain(expr)
-        if expr.cache_kind is not None and expr.cache_kind not in (
-            "direct",
-            "setassoc",
-            "victim",
-            "none",
-        ):
+        if expr.cache_kind is not None and not is_cache_kind(expr.cache_kind):
             self._fail(
                 "E-cache-kind",
-                f"unknown cache kind {expr.cache_kind!r} (choose direct, "
-                f"setassoc, victim or none)",
+                f"unknown cache kind {expr.cache_kind!r} (choose "
+                f"{', '.join(CACHE_KIND_CHOICES)})",
                 expr.span,
             )
         self._current_offload = expr

@@ -1,8 +1,24 @@
-"""Source buffers and position tracking."""
+"""Source buffers, position tracking, and stable source fingerprints."""
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.errors import SourceLocation, SourceSpan
+
+
+def source_fingerprint(text: str) -> str:
+    """Stable content hash of one translation unit's sema input.
+
+    This is the ``source`` component of the compile-cache key
+    (:func:`repro.compiler.cache.compile_cache_key`).  Line endings are
+    normalised so that a CRLF checkout and an LF checkout of the same
+    program share one cache entry; nothing else is canonicalised —
+    whitespace and comments *can* change diagnostics, and a fingerprint
+    that is too clever is worse than a cache miss.
+    """
+    normalized = text.replace("\r\n", "\n").replace("\r", "\n")
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
 
 
 class SourceFile:

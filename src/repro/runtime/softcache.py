@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.errors import MachineError
 from repro.machine.cores import AcceleratorCore
+from repro.runtime.cachekinds import SOFT_CACHE_KINDS
 
 
 class _Line:
@@ -415,6 +416,18 @@ class VictimCache(DirectMappedCache):
         self.core.perf.add("softcache.victim_moves")
 
 
+#: Implementation of each kind in the shared
+#: :data:`repro.runtime.cachekinds.SOFT_CACHE_KINDS` registry.
+CACHE_CLASSES: dict[str, type] = {
+    "direct": DirectMappedCache,
+    "setassoc": SetAssociativeCache,
+    "victim": VictimCache,
+}
+assert tuple(CACHE_CLASSES) == SOFT_CACHE_KINDS, (
+    "softcache implementations out of sync with the cache-kind registry"
+)
+
+
 def make_cache(
     kind: str,
     core: AcceleratorCore,
@@ -429,11 +442,9 @@ def make_cache(
     "The programmer must decide, based on profiling, which cache is most
     suitable for a given offload."
     """
-    kinds = {
-        "direct": DirectMappedCache,
-        "setassoc": SetAssociativeCache,
-        "victim": VictimCache,
-    }
-    if kind not in kinds:
-        raise ValueError(f"unknown cache kind {kind!r}; choose from {sorted(kinds)}")
-    return kinds[kind](core, local_base, line_size, num_lines, **kwargs)
+    if kind not in CACHE_CLASSES:
+        raise ValueError(
+            f"unknown cache kind {kind!r}; choose from "
+            f"{sorted(CACHE_CLASSES)}"
+        )
+    return CACHE_CLASSES[kind](core, local_base, line_size, num_lines, **kwargs)

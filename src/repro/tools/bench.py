@@ -17,12 +17,17 @@ target for the compiled engine is a >= 3x speedup there.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 
+from repro.compiler.cache import CACHE_ENV_VAR, CompileCache, compile_cache_key
 from repro.compiler.driver import CompileOptions, compile_program
+from repro.ir.serialize import program_to_json
 from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
 from repro.machine.machine import Machine
 from repro.game.sources import (
@@ -148,6 +153,69 @@ def bench_workload(spec: dict, repeats: int) -> dict:
     }
 
 
+def bench_compile_cache(repeats: int) -> dict:
+    """Cold vs warm ``compile_program`` on the Figure 2 game-frame program.
+
+    Cold runs the full pass pipeline; warm hits the content-addressed
+    compile cache and deserializes the stored artifact.  The acceptance
+    bar for the cache is a >= 5x warm speedup with a byte-identical
+    artifact.
+    """
+    source = figure2_source()
+    config = CELL_LIKE
+    options = CompileOptions()
+    # Single compiles are milliseconds; take the min over a few extra
+    # reps so one scheduler hiccup doesn't skew the reported ratio.
+    reps = max(7, repeats)
+    # A process-wide REPRO_COMPILE_CACHE would make the "cold" runs
+    # secretly warm; shadow it for the duration of this benchmark.
+    saved_env = os.environ.pop(CACHE_ENV_VAR, None)
+    try:
+        return _bench_compile_cache(source, config, options, reps)
+    finally:
+        if saved_env is not None:
+            os.environ[CACHE_ENV_VAR] = saved_env
+
+
+def _bench_compile_cache(source, config, options, reps: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CompileCache(tmp)
+        key = compile_cache_key(source, config, options)
+        cold_program = compile_program(source, config, options)
+        cache.store(key, cold_program)
+
+        # Single compiles are milliseconds; a generational GC pass
+        # triggered by the residue of earlier workloads would dwarf
+        # them, so collect before each timing loop.
+        gc.collect()
+        cold_times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            compile_program(source, config, options)
+            cold_times.append(time.perf_counter() - start)
+
+        gc.collect()
+        warm_times = []
+        warm_program = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            warm_program = compile_program(source, config, options, cache=cache)
+            warm_times.append(time.perf_counter() - start)
+
+        identical = program_to_json(warm_program) == program_to_json(
+            cold_program
+        )
+    cold_s = min(cold_times)
+    warm_s = min(warm_times)
+    return {
+        "workload": "game-frame",
+        "cold_compile_seconds": round(cold_s, 6),
+        "warm_compile_seconds": round(warm_s, 6),
+        "compile_speedup": round(cold_s / warm_s, 3),
+        "artifact_identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench", description=__doc__.splitlines()[0]
@@ -178,6 +246,14 @@ def main(argv: list[str] | None = None) -> int:
             f"speedup {entry['speedup']:5.2f}x  [{status}]"
         )
 
+    compile_cache = bench_compile_cache(repeats)
+    cache_status = "ok" if compile_cache["artifact_identical"] else "MISMATCH"
+    print(
+        f"{'compile-cache':24s} cold {compile_cache['cold_compile_seconds']:8.4f}s  "
+        f"warm     {compile_cache['warm_compile_seconds']:8.4f}s  "
+        f"speedup {compile_cache['compile_speedup']:5.2f}x  [{cache_status}]"
+    )
+
     product = 1.0
     for entry in results:
         product *= entry["speedup"]
@@ -191,10 +267,13 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": repeats,
         "quick": args.quick,
         "workloads": results,
+        "compile_cache": compile_cache,
         "summary": {
             "geomean_speedup": round(geomean, 3),
             "game_frame_speedup": headline["speedup"],
-            "all_identical": all(e["engines_identical"] for e in results),
+            "compile_cache_speedup": compile_cache["compile_speedup"],
+            "all_identical": all(e["engines_identical"] for e in results)
+            and compile_cache["artifact_identical"],
         },
     }
     with open(args.out, "w", encoding="utf-8") as handle:

@@ -22,7 +22,8 @@ import sys
 
 from repro.analysis.annotations import report_for_program
 from repro.analysis.static_races import find_races_in_program
-from repro.compiler.driver import CompileOptions, analyze_source, compile_program
+from repro.compiler.driver import CompileOptions, analyze_source
+from repro.compiler.passes import PassManager, format_timings
 from repro.errors import CompileError
 from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
 
@@ -38,6 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=sorted(TARGETS), default="cell",
         help="machine configuration (default: cell)",
     )
+    parser.add_argument(
+        "--time-passes", action="store_true",
+        help="print per-pass compile timings to stderr",
+    )
     return parser
 
 
@@ -51,9 +56,15 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     config = TARGETS[args.target]
     try:
-        program = compile_program(
+        # The pass pipeline is run directly (not through the compile
+        # cache): static checking wants every stage to actually execute,
+        # and --time-passes wants its timings.
+        ctx = PassManager.default().run(
             source, config, CompileOptions(), filename=args.source
         )
+        program = ctx.program
+        if args.time_passes:
+            print(format_timings(ctx.timings), file=sys.stderr)
         info = analyze_source(source, filename=args.source)
     except CompileError as error:
         for diagnostic in error.diagnostics:

@@ -1,10 +1,16 @@
-"""Compile and run an OffloadMini source file.
+"""Compile and run an OffloadMini source file (or a compiled artifact).
 
 Usage::
 
     python -m repro.tools.run program.om [--target cell|smp|dsp]
         [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
         [--wordaddr hybrid|emulate] [--dump-ir] [--perf] [--record-races]
+        [--dump-after PASS] [--time-passes] [--cache-dir DIR]
+        [--emit-artifact PATH]
+
+A ``.json`` input is loaded as a serialized program artifact (see
+``--emit-artifact`` and :mod:`repro.ir.serialize`) instead of being
+compiled; compilation flags are then ignored.
 
 Exit status: 0 on success, 1 on compile errors, 2 on runtime traps.
 """
@@ -14,11 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.compiler.cache import cache_at
 from repro.compiler.driver import CompileOptions, compile_program
+from repro.compiler.passes import DEFAULT_PASS_NAMES, PassManager, format_timings
 from repro.errors import CompileError, ReproError
 from repro.ir.printer import format_program
+from repro.ir.serialize import ArtifactError, load_program, save_program
 from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
 from repro.machine.machine import Machine
+from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.vm.interpreter import RunOptions, run_program
 
 TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
@@ -28,7 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-run", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("source", help="OffloadMini source file")
+    parser.add_argument(
+        "source", help="OffloadMini source file (or .json program artifact)"
+    )
     parser.add_argument(
         "--target", choices=sorted(TARGETS), default="cell",
         help="machine configuration (default: cell)",
@@ -38,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--demand-load", action="store_true",
                         help="enable on-demand code loading")
     parser.add_argument(
-        "--cache", choices=["none", "direct", "setassoc", "victim"],
+        "--cache", choices=list(CACHE_KIND_CHOICES),
         default="none",
         help="default software cache for un-annotated offloads",
     )
@@ -48,6 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--dump-ir", action="store_true",
                         help="print the compiled IR instead of running")
+    parser.add_argument(
+        "--dump-after", choices=list(DEFAULT_PASS_NAMES), default=None,
+        metavar="PASS",
+        help="run the pipeline through PASS, print its dump, and exit "
+             f"(one of: {', '.join(DEFAULT_PASS_NAMES)})",
+    )
+    parser.add_argument(
+        "--time-passes", action="store_true",
+        help="print per-pass compile timings to stderr",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed compile cache directory "
+             "(also via REPRO_COMPILE_CACHE)",
+    )
+    parser.add_argument(
+        "--emit-artifact", default=None, metavar="PATH",
+        help="write the compiled program as a JSON artifact and exit",
+    )
     parser.add_argument("--perf", action="store_true",
                         help="print performance counters after the run")
     parser.add_argument(
@@ -61,14 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        with open(args.source, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+def _compile(args, source: str):
+    """Compile per the parsed flags; returns the program (or None when a
+    --dump-after / --time-passes-only pipeline run already finished)."""
     options = CompileOptions(
         wordaddr_mode=args.wordaddr,
         default_cache=args.cache,
@@ -76,12 +102,75 @@ def main(argv: list[str] | None = None) -> int:
         demand_load=args.demand_load,
     )
     config = TARGETS[args.target]
-    try:
-        program = compile_program(source, config, options, filename=args.source)
-    except CompileError as error:
-        for diagnostic in error.diagnostics:
-            print(diagnostic.render(), file=sys.stderr)
-        return 1
+    if args.dump_after is not None or args.time_passes:
+        # Debugging hooks need the pass pipeline itself; bypass the
+        # compile cache so every pass actually runs and is timed.
+        manager = PassManager.default()
+        dump_after = (args.dump_after,) if args.dump_after else ()
+        ctx = manager.run(
+            source,
+            config,
+            options,
+            filename=args.source,
+            stop_after=args.dump_after,
+            dump_after=dump_after,
+        )
+        if args.time_passes:
+            print(format_timings(ctx.timings), file=sys.stderr)
+        if args.dump_after is not None:
+            print(ctx.dumps[args.dump_after])
+            return None
+        return ctx.program
+    cache = cache_at(args.cache_dir) if args.cache_dir else None
+    return compile_program(
+        source, config, options, filename=args.source, cache=cache
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = TARGETS[args.target]
+    if args.source.endswith(".json"):
+        try:
+            program = load_program(args.source)
+        except (OSError, ArtifactError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if program.target_name != config.name:
+            for name, target in TARGETS.items():
+                if target.name == program.target_name:
+                    config = target
+                    break
+            else:
+                print(
+                    f"error: artifact targets unknown machine "
+                    f"{program.target_name!r}",
+                    file=sys.stderr,
+                )
+                return 1
+    else:
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        try:
+            program = _compile(args, source)
+        except CompileError as error:
+            for diagnostic in error.diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
+            return 1
+        if program is None:
+            return 0
+    if args.emit_artifact is not None:
+        try:
+            save_program(program, args.emit_artifact)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"-- artifact written to {args.emit_artifact}", file=sys.stderr)
+        return 0
     if args.dump_ir:
         print(format_program(program))
         return 0

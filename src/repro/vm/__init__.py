@@ -6,7 +6,7 @@ parallelism is modelled by clock combination at launch/join points, so
 measured cycle counts are exactly reproducible run to run.
 """
 
-from repro.vm.compiled import CompiledInterpreter
+from repro.vm.compiled import CompiledInterpreter, warm_translations
 from repro.vm.interpreter import (
     DEFAULT_ENGINE,
     Interpreter,
@@ -24,4 +24,5 @@ __all__ = [
     "RunResult",
     "make_interpreter",
     "run_program",
+    "warm_translations",
 ]

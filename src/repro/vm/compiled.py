@@ -1238,3 +1238,43 @@ def clear_compiled_cache(function: IRFunction) -> None:
     """Drop the cached ops of ``function`` (after mutating its code)."""
     function.__dict__.pop("_cc_ops", None)
     function.__dict__.pop("_cc_cost", None)
+
+
+def warm_translations(
+    program: IRProgram,
+    machine: Machine,
+    options: Optional[RunOptions] = None,
+) -> int:
+    """Translate every function of ``program`` ahead of execution.
+
+    Serving workloads that load a cached artifact
+    (:mod:`repro.compiler.cache`) and then field many requests against
+    it can pay the IR -> closure translation at load time instead of on
+    each function's first call.  The translations are cached on the
+    ``IRFunction`` objects themselves (keyed by cost model), so every
+    subsequent ``run_program`` of this program object on a machine with
+    the same cost model reuses them.
+
+    Returns the number of functions that actually needed translating
+    (0 when the program is already warm for this cost model).
+    """
+    run_options = options or RunOptions()
+    # No race checkers: this engine instance only translates, and must
+    # not leave observers attached to the machine's DMA engines.
+    warm_options = RunOptions(
+        racecheck=None,
+        check_dma_discipline=run_options.check_dma_discipline,
+        max_instructions=run_options.max_instructions,
+        engine="compiled",
+    )
+    engine = CompiledInterpreter(program, machine, warm_options)
+    translated = 0
+    for function in program.functions.values():
+        fdict = function.__dict__
+        if (
+            fdict.get("_cc_ops") is None
+            or fdict.get("_cc_cost") is not engine._cost
+        ):
+            engine._compile(function)
+            translated += 1
+    return translated

@@ -1,0 +1,152 @@
+"""Serializable program artifacts: determinism and run equivalence.
+
+The contract the compile cache depends on: compiling the same source
+twice yields byte-identical canonical JSON, ``to_dict -> from_dict ->
+to_dict`` is the identity on that JSON, and a deserialized program runs
+cycle-for-cycle, counter-for-counter identically to the fresh compile on
+both execution engines.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.ir.instructions import AccSpace, BinOp, Copy, Load
+from repro.ir.serialize import (
+    ArtifactError,
+    instr_from_dict,
+    instr_to_dict,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.game.sources import ai_kernel_source, figure2_source, word_struct_source
+from repro.vm.interpreter import RunOptions, run_program
+
+WORKLOADS = [
+    ("figure2-cell", figure2_source(entity_count=8, pair_count=6, frames=1), CELL_LIKE, CompileOptions()),
+    ("figure2-smp", figure2_source(entity_count=8, pair_count=6, frames=1), SMP_UNIFORM, CompileOptions()),
+    ("ai-demand", ai_kernel_source(entity_count=6), CELL_LIKE, CompileOptions(demand_load=True)),
+    ("word-dsp", word_struct_source(packet_count=6), DSP_WORD, CompileOptions()),
+    ("figure2-opt", figure2_source(entity_count=8, pair_count=6, frames=1), CELL_LIKE, CompileOptions(optimize=True)),
+]
+
+IDS = [w[0] for w in WORKLOADS]
+
+
+@pytest.mark.parametrize("name,source,config,options", WORKLOADS, ids=IDS)
+class TestDeterminism:
+    def test_recompile_is_byte_identical(self, name, source, config, options):
+        first = compile_program(source, config, options)
+        second = compile_program(source, config, options)
+        assert program_to_json(first) == program_to_json(second)
+
+    def test_roundtrip_is_byte_identical(self, name, source, config, options):
+        program = compile_program(source, config, options)
+        text = program_to_json(program)
+        assert program_to_json(program_from_json(text)) == text
+
+    def test_roundtrip_preserves_structure(self, name, source, config, options):
+        program = compile_program(source, config, options)
+        clone = program_from_dict(program_to_dict(program))
+        assert sorted(clone.functions) == sorted(program.functions)
+        for fname, fn in program.functions.items():
+            other = clone.functions[fname]
+            # Dataclass equality covers every instruction field,
+            # including recomputed derived ones via their inputs.
+            assert other.code == fn.code
+            assert other.labels == fn.labels
+            assert other.num_regs == fn.num_regs
+            assert other.frame_size == fn.frame_size
+        assert clone.init_image == program.init_image
+        assert clone.function_ids == program.function_ids
+        assert clone.vtables == program.vtables
+        assert clone.data_end == program.data_end
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_deserialized_program_runs_identically(
+        self, name, source, config, options, engine
+    ):
+        program = compile_program(source, config, options)
+        clone = program_from_dict(program_to_dict(program))
+        run_options = RunOptions(engine=engine)
+        fresh = run_program(program, Machine(config), run_options)
+        loaded = run_program(clone, Machine(config), run_options)
+        assert loaded.output == fresh.output
+        assert loaded.cycles == fresh.cycles
+        assert loaded.host_cycles == fresh.host_cycles
+        assert loaded.perf() == fresh.perf()
+
+
+class TestJsonSafety:
+    def test_artifact_survives_json_dump_load(self):
+        program = compile_program(figure2_source(), CELL_LIKE)
+        data = json.loads(json.dumps(program.to_dict()))
+        clone = program_from_dict(data)
+        assert program_to_json(clone) == program_to_json(program)
+
+    def test_no_pickle_like_payloads(self):
+        data = compile_program(figure2_source(), CELL_LIKE).to_dict()
+
+        def only_json_scalars(value):
+            if isinstance(value, dict):
+                return all(
+                    isinstance(k, str) and only_json_scalars(v)
+                    for k, v in value.items()
+                )
+            if isinstance(value, list):
+                return all(only_json_scalars(v) for v in value)
+            return value is None or isinstance(value, (str, int, float, bool))
+
+        assert only_json_scalars(data)
+
+
+class TestInstructions:
+    def test_space_enums_roundtrip(self):
+        load = Load(dst=1, addr=2, size=4, space=AccSpace.OUTER, signed=False)
+        assert instr_from_dict(instr_to_dict(load)) == load
+        copy = Copy(
+            dst_addr=1,
+            src_addr=2,
+            size=64,
+            dst_space=AccSpace.LOCAL,
+            src_space=AccSpace.MAIN,
+        )
+        assert instr_from_dict(instr_to_dict(copy)) == copy
+
+    def test_derived_fields_recomputed(self):
+        binop = BinOp(op="==", dst=0, a=1, b=2)
+        clone = instr_from_dict(instr_to_dict(binop))
+        assert clone.is_compare
+        load = Load(dst=0, addr=1, size=2, signed=False, is_float=False)
+        clone = instr_from_dict(instr_to_dict(load))
+        assert clone.scalar_key == (2, False, False)
+
+    def test_comment_omitted_when_empty_preserved_when_set(self):
+        bare = instr_to_dict(BinOp(op="+", dst=0, a=1, b=2))
+        assert "comment" not in bare
+        commented = BinOp(op="+", dst=0, a=1, b=2, comment="sum")
+        clone = instr_from_dict(instr_to_dict(commented))
+        assert clone.comment == "sum"
+
+    def test_unknown_instruction_kind_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown instruction"):
+            instr_from_dict({"k": "Quantum", "dst": 0})
+
+
+class TestVersioning:
+    def test_version_mismatch_rejected(self):
+        data = compile_program(figure2_source(), CELL_LIKE).to_dict()
+        data["version"] = 999
+        with pytest.raises(ArtifactError, match="version"):
+            program_from_dict(data)
+
+    def test_format_tag_required(self):
+        data = compile_program(figure2_source(), CELL_LIKE).to_dict()
+        data["format"] = "tarball"
+        with pytest.raises(ArtifactError, match="not a"):
+            program_from_dict(data)

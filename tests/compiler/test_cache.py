@@ -1,0 +1,216 @@
+"""The content-addressed compile cache: keys, backends, warm speedup."""
+
+import os
+import time
+
+import pytest
+
+from repro.compiler.cache import (
+    CACHE_ENV_VAR,
+    CompileCache,
+    cache_at,
+    compile_cache_key,
+    resolve_cache,
+)
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.ir.serialize import program_to_json
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.game.sources import figure2_source
+from repro.vm.compiled import warm_translations
+from repro.vm.interpreter import RunOptions, run_program
+
+SOURCE = figure2_source(entity_count=8, pair_count=6, frames=1)
+
+
+class TestCacheKey:
+    def test_same_inputs_same_key(self):
+        a = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        b = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        assert a == b
+
+    def test_source_changes_key(self):
+        a = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        b = compile_cache_key(SOURCE + "\n", CELL_LIKE, CompileOptions())
+        assert a != b
+
+    def test_line_endings_do_not_change_key(self):
+        a = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        b = compile_cache_key(
+            SOURCE.replace("\n", "\r\n"), CELL_LIKE, CompileOptions()
+        )
+        assert a == b
+
+    def test_target_config_changes_key(self):
+        a = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        assert a != compile_cache_key(SOURCE, SMP_UNIFORM, CompileOptions())
+        assert a != compile_cache_key(SOURCE, DSP_WORD, CompileOptions())
+
+    def test_cost_model_changes_key(self):
+        tweaked = CELL_LIKE.with_(
+            cost=CELL_LIKE.cost.__class__(dma_latency=999)
+        )
+        a = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        assert a != compile_cache_key(SOURCE, tweaked, CompileOptions())
+
+    def test_options_change_key(self):
+        base = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        for options in (
+            CompileOptions(optimize=True),
+            CompileOptions(demand_load=True),
+            CompileOptions(default_cache="direct"),
+            CompileOptions(wordaddr_mode="emulate"),
+        ):
+            assert compile_cache_key(SOURCE, CELL_LIKE, options) != base
+
+
+class TestDiskBackend:
+    def test_miss_then_hit(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        assert cache.load(key) is None
+        program = compile_program(SOURCE, CELL_LIKE)
+        cache.store(key, program)
+        assert key in cache
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert program_to_json(loaded) == program_to_json(program)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_load_returns_fresh_objects(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        cache.store(key, compile_program(SOURCE, CELL_LIKE))
+        first = cache.load(key)
+        second = cache.load(key)
+        assert first is not second
+        # Mutating one hit must not poison the next.
+        first.functions.clear()
+        assert cache.load(key).functions
+
+    def test_survives_process_boundary_via_disk(self, tmp_path):
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        CompileCache(str(tmp_path)).store(
+            key, compile_program(SOURCE, CELL_LIKE)
+        )
+        fresh_instance = CompileCache(str(tmp_path))
+        assert fresh_instance.load(key) is not None
+
+    def test_corrupt_entry_is_a_miss_and_discarded(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        cache.store(key, compile_program(SOURCE, CELL_LIKE))
+        path = cache.path_for(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-ir-artifact", "version": 1')
+        fresh_instance = CompileCache(str(tmp_path))
+        assert fresh_instance.load(key) is None
+        assert fresh_instance.stats.evictions_bad == 1
+        assert not os.path.exists(path)
+
+    def test_clear(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        cache.store(key, compile_program(SOURCE, CELL_LIKE))
+        cache.clear()
+        assert cache.load(key) is None
+
+
+class TestResolution:
+    def test_explicit_cache_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "env"))
+        explicit = CompileCache(str(tmp_path / "explicit"))
+        assert resolve_cache(explicit) is explicit
+
+    def test_env_var_activates_shared_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        cache = resolve_cache()
+        assert cache is not None
+        assert cache is cache_at(str(tmp_path))
+
+    def test_no_env_no_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert resolve_cache() is None
+
+    def test_compile_program_populates_env_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        program = compile_program(SOURCE, CELL_LIKE)
+        key = compile_cache_key(SOURCE, CELL_LIKE, CompileOptions())
+        assert key in cache_at(str(tmp_path))
+        warm = compile_program(SOURCE, CELL_LIKE)
+        assert warm is not program
+        assert program_to_json(warm) == program_to_json(program)
+
+
+class TestCachedExecutionEquivalence:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_cached_program_runs_identically(self, tmp_path, engine):
+        cold = compile_program(SOURCE, CELL_LIKE)
+        cache = CompileCache(str(tmp_path))
+        warm = compile_program(SOURCE, CELL_LIKE, cache=cache)  # store
+        warm = compile_program(SOURCE, CELL_LIKE, cache=cache)  # load
+        assert cache.stats.hits == 1
+        run_options = RunOptions(engine=engine)
+        cold_run = run_program(cold, Machine(CELL_LIKE), run_options)
+        warm_run = run_program(warm, Machine(CELL_LIKE), run_options)
+        assert warm_run.output == cold_run.output
+        assert warm_run.cycles == cold_run.cycles
+        assert warm_run.perf() == cold_run.perf()
+
+
+class TestWarmTranslations:
+    def test_translates_once_and_is_idempotent(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        compile_program(SOURCE, CELL_LIKE, cache=cache)
+        program = compile_program(SOURCE, CELL_LIKE, cache=cache)
+        machine = Machine(CELL_LIKE)
+        first = warm_translations(program, machine)
+        assert first == len(program.functions)
+        assert warm_translations(program, machine) == 0
+        # A warmed program still runs identically (and does not pay
+        # translation again inside the run).
+        result = run_program(program, machine, RunOptions(engine="compiled"))
+        fresh = run_program(
+            compile_program(SOURCE, CELL_LIKE),
+            Machine(CELL_LIKE),
+            RunOptions(engine="compiled"),
+        )
+        assert result.output == fresh.output
+        assert result.cycles == fresh.cycles
+
+
+class TestWarmSpeedup:
+    def test_warm_compile_is_5x_faster_on_figure2(self, tmp_path, monkeypatch):
+        """Acceptance bar: warm-cache compile_program >= 5x cold on the
+        Figure 2 game-frame program."""
+        # A process-wide REPRO_COMPILE_CACHE would make the "cold" runs
+        # secretly warm; force the cold path to really compile.
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        source = figure2_source()  # the benchmark-sized program
+        options = CompileOptions()
+        cache = CompileCache(str(tmp_path))
+        compile_program(source, CELL_LIKE, options, cache=cache)  # populate
+
+        reps = 5
+        cold = min(
+            _timed(lambda: compile_program(source, CELL_LIKE, options))
+            for _ in range(reps)
+        )
+        warm = min(
+            _timed(
+                lambda: compile_program(source, CELL_LIKE, options, cache=cache)
+            )
+            for _ in range(reps)
+        )
+        assert cache.stats.hits >= reps
+        assert cold / warm >= 5.0, (
+            f"warm cache speedup only {cold / warm:.1f}x "
+            f"(cold {cold * 1e3:.2f}ms, warm {warm * 1e3:.2f}ms)"
+        )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -98,6 +98,76 @@ class TestRunTool:
         status = run_tool.main(["/nonexistent/nothing.om"])
         assert status == 1
 
+    def test_dump_after_pass(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--dump-after", "parse"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "class Shape" in captured.out
+        assert "[host]" not in captured.out  # dump only, no run
+
+    def test_dump_after_domains(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--dump-after", "domains"])
+        assert status == 0
+        assert "Shape::area" in capsys.readouterr().out
+
+    def test_dump_after_rejects_unknown_pass(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            run_tool.main([source_file(CLEAN), "--dump-after", "inline"])
+
+    def test_time_passes(self, source_file, capsys):
+        status = run_tool.main([source_file(CLEAN), "--time-passes"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "[host] 7" in captured.out  # still runs the program
+        err = captured.err
+        for name in ("parse", "sema", "drain-duplicates", "total"):
+            assert name in err
+        assert "(skipped)" in err  # optimize without --optimize
+
+    def test_emit_artifact_then_run_it(self, source_file, tmp_path, capsys):
+        artifact = str(tmp_path / "program.json")
+        status = run_tool.main(
+            [source_file(CLEAN), "--emit-artifact", artifact]
+        )
+        assert status == 0
+        assert "artifact written" in capsys.readouterr().err
+        status = run_tool.main([artifact])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "[host] 7" in captured.out
+        assert "simulated cycles" in captured.err
+
+    def test_artifact_run_resolves_target_from_metadata(
+        self, source_file, tmp_path, capsys
+    ):
+        artifact = str(tmp_path / "program.json")
+        run_tool.main(
+            [source_file(CLEAN), "--target", "smp",
+             "--emit-artifact", artifact]
+        )
+        capsys.readouterr()
+        # Default --target is cell; the artifact says smp-uniform.
+        status = run_tool.main([artifact])
+        assert status == 0
+        assert "smp-uniform" in capsys.readouterr().err
+
+    def test_corrupt_artifact_rejected(self, tmp_path, capsys):
+        artifact = tmp_path / "bad.json"
+        artifact.write_text('{"format": "tarball"}')
+        status = run_tool.main([str(artifact)])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_dir_cold_then_warm(self, source_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        argv = [source_file(CLEAN), "--cache-dir", cache_dir]
+        assert run_tool.main(argv) == 0
+        cold = capsys.readouterr()
+        assert run_tool.main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "[host] 7" in warm.out
+
 
 class TestCheckTool:
     def test_clean_program(self, source_file, capsys):
@@ -119,3 +189,10 @@ class TestCheckTool:
 
     def test_compile_error(self, source_file):
         assert check_tool.main([source_file(BROKEN)]) == 1
+
+    def test_time_passes(self, source_file, capsys):
+        status = check_tool.main([source_file(CLEAN), "--time-passes"])
+        assert status == 0
+        err = capsys.readouterr().err
+        assert "parse" in err
+        assert "total" in err
