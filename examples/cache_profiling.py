@@ -9,6 +9,10 @@ This example runs the AI decision kernel under every outer-access
 strategy and prints the profile a developer would use to choose:
 hit rates, miss counts and the resulting section time — including the
 case where the uncached offload is *slower* than not offloading at all.
+It then replays the winning configuration with the event recorder
+attached and prints the start of the miss timeline: *which* addresses
+miss, and in what order, is what tells you whether a different line
+size or a victim buffer would help.
 
 Run:  python examples/cache_profiling.py
 """
@@ -17,14 +21,35 @@ from repro.compiler.driver import compile_program
 from repro.game.sources import ai_kernel_source
 from repro.machine.config import CELL_LIKE
 from repro.machine.machine import Machine
+from repro.obs import TraceRecorder, format_timeline
+from repro.obs.trace import EV_CACHE_EVICT, EV_CACHE_FILL, EV_CACHE_MISS
 from repro.vm.interpreter import run_program
 
 ENTITIES = 64
+TIMELINE_ROWS = 12
 
 
-def run(offloaded: bool, cache: str | None = None):
+def run(offloaded: bool, cache: str | None = None, recorder=None):
     source = ai_kernel_source(ENTITIES, offloaded=offloaded, cache=cache)
-    return run_program(compile_program(source, CELL_LIKE), Machine(CELL_LIKE))
+    machine = Machine(CELL_LIKE)
+    if recorder is not None:
+        machine.attach_trace(recorder)
+    return run_program(compile_program(source, CELL_LIKE), machine)
+
+
+def miss_timeline(cache: str) -> str:
+    """Re-run one cached configuration and render its miss events."""
+    recorder = TraceRecorder()
+    run(offloaded=True, cache=cache, recorder=recorder)
+    timeline = format_timeline(
+        recorder.events(),
+        kinds={EV_CACHE_MISS, EV_CACHE_FILL, EV_CACHE_EVICT},
+    )
+    lines = timeline.splitlines()
+    shown = lines[:TIMELINE_ROWS]
+    if len(lines) > len(shown):
+        shown.append(f"  ... {len(lines) - len(shown)} more events")
+    return "\n".join(shown)
 
 
 def main() -> None:
@@ -50,6 +75,10 @@ def main() -> None:
     print()
     print("The uncached offload loses to the host; with the right cache")
     print("the same offload wins — profiling makes the decision.")
+    print()
+    print("== miss timeline (direct-mapped cache, first "
+          f"{TIMELINE_ROWS} events)")
+    print(miss_timeline("direct"))
 
 
 if __name__ == "__main__":

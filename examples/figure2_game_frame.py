@@ -7,19 +7,32 @@ accelerator before updating and rendering.  This example compares the
 offloaded frame against the sequential baseline and shows the capture
 of ``this``.
 
-Run:  python examples/figure2_game_frame.py
+Run:  python examples/figure2_game_frame.py [--trace FILE]
+
+With ``--trace FILE`` the offloaded run is recorded and exported as a
+Chrome/Perfetto trace — open it at https://ui.perfetto.dev to see the
+frame markers, the offload window on the accelerator track and the DMA
+traffic beneath it.
 """
+
+import argparse
 
 from repro.compiler.driver import compile_program
 from repro.game.sources import figure2_source
 from repro.machine.config import CELL_LIKE
 from repro.machine.machine import Machine
+from repro.obs import TraceRecorder, chrome_trace_json
 from repro.vm.interpreter import run_program
 
 PARAMS = dict(entity_count=48, pair_count=32, frames=3)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace of the offloaded run")
+    args = parser.parse_args()
+
     sequential_src = figure2_source(offloaded=False, **PARAMS)
     offloaded_src = figure2_source(offloaded=True, **PARAMS)
 
@@ -27,7 +40,11 @@ def main() -> None:
         compile_program(sequential_src, CELL_LIKE), Machine(CELL_LIKE)
     )
     program = compile_program(offloaded_src, CELL_LIKE)
-    offloaded = run_program(program, Machine(CELL_LIKE))
+    machine = Machine(CELL_LIKE)
+    recorder = TraceRecorder() if args.trace else None
+    if recorder is not None:
+        machine.attach_trace(recorder)
+    offloaded = run_program(program, machine)
 
     meta = program.offload_meta[0]
     print("== Figure 2: offloaded game frame")
@@ -41,6 +58,11 @@ def main() -> None:
     print("   strategy ran on:   ",
           [a.name for a in offloaded.machine.accelerators if a.clock.now > 0])
     print("   (collision detection ran on the host in the meantime)")
+
+    if recorder is not None:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(recorder))
+        print(f"\n   trace: {len(recorder)} events -> {args.trace}")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 from repro.lang.parser import parse_program
 from repro.lang.sema import analyze
 from repro.machine.config import MachineConfig
+from repro.obs.trace import EV_PASS, NULL_RECORDER
 
 
 class PassContext:
@@ -168,26 +169,40 @@ class PassManager:
         *,
         stop_after: Optional[str] = None,
         dump_after: tuple[str, ...] = (),
+        trace=NULL_RECORDER,
     ) -> PassContext:
         """Run the pipeline over one source; returns the final context.
 
         ``stop_after`` ends the pipeline early (debugging: the program
         may be incomplete).  ``dump_after`` captures the named passes'
-        dumps into ``ctx.dumps``.
+        dumps into ``ctx.dumps``.  ``trace`` receives one ``pass.span``
+        event per pipeline slot on the ``compile`` track, stamped with
+        *wall-clock* microseconds (compilation has no simulated clock) —
+        keep compile spans out of recorders whose exports must be
+        deterministic.
         """
         for name in (stop_after, *dump_after):
             if name is not None:
                 self.get(name)  # raise early on typos
         ctx = PassContext(source, config, options, filename)
+        elapsed_us = 0
         for p in self._passes:
             if p.skip is not None and p.skip(ctx):
                 ctx.timings.append(PassTiming(p.name, 0.0, ran=False))
+                if trace.enabled:
+                    trace.emit(elapsed_us, "compile", EV_PASS, (p.name, 0, 0))
             else:
                 start = time.perf_counter()
                 p.run(ctx)
-                ctx.timings.append(
-                    PassTiming(p.name, time.perf_counter() - start)
-                )
+                seconds = time.perf_counter() - start
+                ctx.timings.append(PassTiming(p.name, seconds))
+                if trace.enabled:
+                    duration_us = int(seconds * 1_000_000)
+                    trace.emit(
+                        elapsed_us, "compile", EV_PASS,
+                        (p.name, duration_us, 1),
+                    )
+                    elapsed_us += duration_us
             if p.name in dump_after:
                 ctx.dumps[p.name] = (
                     p.dump(ctx) if p.dump is not None else _generic_dump(ctx)

@@ -17,6 +17,7 @@ from repro.machine.config import CostModel, MachineConfig
 from repro.machine.dma import DmaEngine
 from repro.machine.memory import MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.trace import NULL_RECORDER
 
 
 class Core:
@@ -27,6 +28,9 @@ class Core:
         self.cost = cost
         self.perf = perf
         self.clock = CoreClock()
+        #: Event sink (see :mod:`repro.obs`); the null recorder unless a
+        #: tracer is attached via ``Machine.attach_trace``.
+        self.trace = NULL_RECORDER
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, now={self.clock.now})"

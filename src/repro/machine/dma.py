@@ -31,6 +31,7 @@ from repro.errors import DmaError
 from repro.machine.config import CostModel
 from repro.machine.memory import MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.trace import EV_DMA_WAIT, EV_DMA_XFER, NULL_RECORDER
 
 NUM_TAGS = 32
 
@@ -115,6 +116,8 @@ class DmaEngine:
         self.name = name
         self.observer = observer
         self.interconnect = interconnect
+        #: Event sink; installed by ``Machine.attach_trace``.
+        self.trace = NULL_RECORDER
         self._in_flight: list[DmaRequest] = []
         self._channel_free = 0
         self._next_serial = 0
@@ -165,6 +168,15 @@ class DmaEngine:
         )
         if self.observer is not None:
             self.observer(request, list(self._in_flight))
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(
+                now,
+                self.name,
+                EV_DMA_XFER,
+                (kind, tag, local_addr, outer_addr, size, complete,
+                 request.serial),
+            )
         self._in_flight.append(request)
         if kind == GET:
             data = self.main_memory.read_unchecked(outer_addr, size)
@@ -214,6 +226,9 @@ class DmaEngine:
                 remaining.append(request)
         self._in_flight = remaining
         self.perf.add("dma.waits")
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(now, self.name, EV_DMA_WAIT, (tag, done_time))
         return done_time
 
     def wait_all(self, now: int) -> int:
@@ -223,6 +238,9 @@ class DmaEngine:
             done_time = max(done_time, request.complete_time)
         self._in_flight = []
         self.perf.add("dma.waits")
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(now, self.name, EV_DMA_WAIT, (-1, done_time))
         return done_time
 
     # ---------------------------------------------------------- inspection

@@ -8,6 +8,7 @@ from repro.machine.cores import AcceleratorCore, HostCore
 from repro.machine.interconnect import Interconnect
 from repro.machine.memory import BumpAllocator, MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.trace import NULL_RECORDER
 
 
 class Machine:
@@ -46,6 +47,25 @@ class Machine:
         self._heap = BumpAllocator(
             base=config.main_memory_size // 4, limit=config.main_memory_size
         )
+        #: Event sink shared by every component; the null recorder until
+        #: :meth:`attach_trace` installs a real one.
+        self.trace = NULL_RECORDER
+
+    def attach_trace(self, recorder) -> None:
+        """Install ``recorder`` as the machine-wide event sink.
+
+        Propagates the recorder to every core and DMA engine so each
+        instrumentation site keeps its pre-bound reference (one
+        attribute check per event when disabled).  Must be called
+        before building an execution engine for the machine; pass
+        :data:`repro.obs.trace.NULL_RECORDER` to detach.
+        """
+        self.trace = recorder
+        self.host.trace = recorder
+        for acc in self.accelerators:
+            acc.trace = recorder
+            if acc.dma is not None:
+                acc.dma.trace = recorder
 
     def accelerator(self, index: int) -> AcceleratorCore:
         """The ``index``-th accelerator core."""

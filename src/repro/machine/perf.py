@@ -15,12 +15,20 @@ Two APIs share one set of totals:
   read (:meth:`get`, :meth:`as_dict`, :meth:`snapshot`, :meth:`ratio`,
   iteration), so readers always observe exact totals regardless of which
   path produced them.
+
+The counter bag holds its slots *weakly*: a slot whose owner dies (a
+software cache torn down with its offload thread, an execution engine
+discarded after a run) drains any pending count into the totals from
+its finalizer and disappears from the registry on the next flush, so
+long-lived machines do not accumulate — and forever re-flush — dead
+accumulators.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
-from typing import Iterator
+from typing import Iterator, Optional
 
 
 class CounterSlot:
@@ -28,14 +36,21 @@ class CounterSlot:
 
     Hot paths increment :attr:`count` directly; the owning
     :class:`PerfCounters` folds the pending value into its totals at
-    read/flush time.
+    read/flush time — or, if the slot dies first, the finalizer folds
+    the remainder so no increment is ever lost.
     """
 
-    __slots__ = ("name", "count")
+    __slots__ = ("name", "count", "_owner", "__weakref__")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, owner: "Optional[PerfCounters]" = None):
         self.name = name
         self.count = 0
+        self._owner = owner
+
+    def __del__(self) -> None:
+        if self.count and self._owner is not None:
+            self._owner._counts[self.name] += self.count
+            self.count = 0
 
     def __repr__(self) -> str:
         return f"CounterSlot(name={self.name!r}, pending={self.count})"
@@ -46,7 +61,7 @@ class PerfCounters:
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
-        self._slots: list[CounterSlot] = []
+        self._slots: list[weakref.ref[CounterSlot]] = []
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (must be >= 0)."""
@@ -56,18 +71,34 @@ class PerfCounters:
     def slot(self, name: str) -> CounterSlot:
         """Return a batched accumulator feeding counter ``name``.
 
-        Multiple slots may share a name; their pending counts sum.
+        Multiple slots may share a name; their pending counts sum.  The
+        registry reference is weak: the caller owns the slot's lifetime,
+        and a dead slot stops being flushed (its last pending count is
+        folded in by the finalizer).
         """
-        slot = CounterSlot(name)
-        self._slots.append(slot)
+        slot = CounterSlot(name, self)
+        self._slots.append(weakref.ref(slot))
         return slot
 
+    def live_slots(self) -> list[CounterSlot]:
+        """The currently registered (live) slots, for inspection."""
+        return [slot for ref in self._slots if (slot := ref()) is not None]
+
     def flush(self) -> None:
-        """Fold every slot's pending count into the totals."""
-        for slot in self._slots:
-            if slot.count:
+        """Fold every live slot's pending count into the totals.
+
+        Registry entries whose slot has died are pruned here.
+        """
+        dead = False
+        for ref in self._slots:
+            slot = ref()
+            if slot is None:
+                dead = True
+            elif slot.count:
                 self._counts[slot.name] += slot.count
                 slot.count = 0
+        if dead:
+            self._slots = [ref for ref in self._slots if ref() is not None]
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -76,8 +107,13 @@ class PerfCounters:
 
     def reset(self) -> None:
         """Zero every counter, including pending slot counts."""
-        for slot in self._slots:
-            slot.count = 0
+        live = []
+        for ref in self._slots:
+            slot = ref()
+            if slot is not None:
+                slot.count = 0
+                live.append(ref)
+        self._slots = live
         self._counts.clear()
 
     def as_dict(self) -> dict[str, int]:

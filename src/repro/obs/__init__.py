@@ -1,0 +1,31 @@
+"""Observability: event tracing, timeline export, offload profiling.
+
+The simulator's :class:`~repro.machine.perf.PerfCounters` answer *how
+much* happened over a whole run; this package answers *when*.  A
+:class:`~repro.obs.trace.TraceRecorder` attached to a machine
+(:meth:`repro.machine.machine.Machine.attach_trace`) collects typed,
+cycle-stamped events from every layer — DMA transfers and waits,
+software-cache probes, domain-dispatch searches, demand code uploads,
+function enter/exit, offload-block begin/end, compile-pass spans — into
+a preallocated ring buffer of plain tuples.  Exporters render the
+buffer as a Chrome/Perfetto ``trace_event`` JSON file, a flat text
+timeline, or a per-offload-block profile.
+
+The default recorder on every machine is the shared
+:data:`~repro.obs.trace.NULL_RECORDER`; with it, every instrumentation
+site costs a single attribute check (``if trace.enabled:``), guarded by
+``benchmarks/test_obs_overhead.py``.
+"""
+
+from repro.obs.trace import (  # noqa: F401
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+)
+from repro.obs.export import (  # noqa: F401
+    chrome_trace,
+    chrome_trace_json,
+    format_timeline,
+    validate_chrome_trace,
+)
+from repro.obs.profile import format_profile, offload_profile  # noqa: F401

@@ -1,0 +1,258 @@
+"""Trace exporters.
+
+Three renderings of one event buffer:
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  ``trace_event`` format (the JSON flavour Perfetto and ``chrome://
+  tracing`` both load).  One thread-track per core, plus DMA-channel
+  and software-cache tracks.  Simulated cycles are written as the
+  ``ts`` microsecond field one-to-one, so "1 us" in the viewer is one
+  simulated cycle.
+* :func:`format_timeline` — a flat, line-per-event text timeline; the
+  format tests assert against.
+* :func:`validate_chrome_trace` — a structural validator for the JSON
+  (used by tests and the CI trace job; not a full schema, but enough to
+  guarantee Perfetto will load the file).
+
+Exports are **canonical**: given equal event sequences they are
+byte-identical (sorted keys, fixed separators, no wall-clock metadata),
+which is what lets the differential suite compare engines at the
+serialized-trace level.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+from repro.obs.trace import (
+    EV_CACHE_EVICT,
+    EV_CACHE_FILL,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_CACHE_WRITEBACK,
+    EV_CODE_UPLOAD,
+    EV_DISPATCH_HIT,
+    EV_DISPATCH_MISS,
+    EV_DMA_WAIT,
+    EV_DMA_XFER,
+    EV_ENTER,
+    EV_EXIT,
+    EV_FRAME,
+    EV_OFFLOAD_BEGIN,
+    EV_OFFLOAD_END,
+    EV_OFFLOAD_JOIN,
+    EV_OFFLOAD_LAUNCH,
+    EV_PASS,
+    EVENT_SCHEMAS,
+    Event,
+    TraceRecorder,
+    tracks,
+)
+
+_PID = 1
+
+#: Kinds rendered as complete ("X") events; maps kind -> index of the
+#: end-cycle field in the event args.
+_SPAN_END_INDEX = {
+    EV_CACHE_FILL: 1,
+    EV_CACHE_WRITEBACK: 1,
+    EV_DISPATCH_HIT: 2,
+    EV_DISPATCH_MISS: 2,
+    EV_CODE_UPLOAD: 2,
+    EV_DMA_WAIT: 1,
+}
+
+
+def _args_dict(kind: str, args: tuple) -> dict:
+    schema = EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        return {f"arg{i}": value for i, value in enumerate(args)}
+    return dict(zip(schema, args))
+
+
+def _name_for(kind: str, args: tuple) -> str:
+    if kind == EV_DMA_XFER:
+        return f"{args[0]} tag{args[1]}"
+    if kind == EV_DMA_WAIT:
+        return "wait all" if args[0] == -1 else f"wait tag{args[0]}"
+    if kind in (EV_ENTER, EV_EXIT, EV_FRAME):
+        return str(args[0])
+    if kind in (EV_OFFLOAD_BEGIN, EV_OFFLOAD_END):
+        return f"offload{args[0]} {args[1]}"
+    if kind == EV_CODE_UPLOAD:
+        return f"upload {args[0]}"
+    if kind == EV_PASS:
+        return f"pass {args[0]}"
+    return kind
+
+
+def _resolve(events: Union[Iterable[Event], TraceRecorder]) -> tuple[list[Event], int]:
+    if isinstance(events, TraceRecorder):
+        return events.events(), events.dropped
+    return list(events), 0
+
+
+def chrome_trace(events: Union[Iterable[Event], TraceRecorder]) -> dict:
+    """Render events as a Chrome ``trace_event`` JSON object (a dict).
+
+    Accepts a recorder (dropped-event count is surfaced in
+    ``otherData``) or a plain event iterable.
+    """
+    event_list, dropped = _resolve(events)
+    tids = {track: i + 1 for i, track in enumerate(tracks(event_list))}
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro simulated machine"},
+        }
+    ]
+    for track, tid in tids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    for _seq, cycle, track, kind, args in event_list:
+        tid = tids[track]
+        base = {
+            "pid": _PID,
+            "tid": tid,
+            "ts": cycle,
+            "name": _name_for(kind, args),
+            "cat": kind.split(".", 1)[0],
+            "args": _args_dict(kind, args),
+        }
+        if kind == EV_ENTER:
+            base["ph"] = "B"
+        elif kind == EV_EXIT:
+            base["ph"] = "E"
+        elif kind == EV_OFFLOAD_BEGIN:
+            base["ph"] = "B"
+        elif kind == EV_OFFLOAD_END:
+            base["ph"] = "E"
+        elif kind == EV_DMA_XFER:
+            base["ph"] = "X"
+            base["dur"] = args[5] - cycle
+        elif kind == EV_PASS:
+            base["ph"] = "X"
+            base["dur"] = args[1]
+        elif kind in _SPAN_END_INDEX:
+            base["ph"] = "X"
+            base["dur"] = args[_SPAN_END_INDEX[kind]] - cycle
+        else:
+            # Instants: cache hits/misses/evictions, frame markers,
+            # host-side launch/join, anything future.
+            base["ph"] = "i"
+            base["s"] = "t"
+        trace_events.append(base)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_unit": "1 trace us = 1 simulated cycle",
+            "dropped_events": dropped,
+        },
+    }
+
+
+def chrome_trace_json(events: Union[Iterable[Event], TraceRecorder]) -> str:
+    """Canonical (byte-stable) JSON text of :func:`chrome_trace`."""
+    return json.dumps(
+        chrome_trace(events), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+def format_timeline(
+    events: Union[Iterable[Event], TraceRecorder],
+    kinds: Union[set, frozenset, None] = None,
+) -> str:
+    """A flat text timeline, one event per line.
+
+    ``kinds`` filters to a subset of event kinds (e.g. only cache
+    events for a miss timeline).
+    """
+    event_list, dropped = _resolve(events)
+    lines = []
+    if dropped:
+        lines.append(f"# {dropped} oldest events dropped (ring wrapped)")
+    for _seq, cycle, track, kind, args in event_list:
+        if kinds is not None and kind not in kinds:
+            continue
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in _args_dict(kind, args).items()
+        )
+        lines.append(f"{cycle:>12} {track:<12} {kind:<16} {detail}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+_VALID_PHASES = {"B", "E", "X", "i", "M"}
+_VALID_SCOPES = {"g", "p", "t"}
+
+
+def validate_chrome_trace(trace: object) -> list[str]:
+    """Structurally validate a Chrome trace object; returns problems.
+
+    An empty list means the trace will load in Perfetto / Chrome
+    tracing.  Checks the container shape, per-event required fields,
+    phase-specific fields, and that every event's (pid, tid) has a
+    ``thread_name`` metadata record.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    named_threads: set[tuple[int, int]] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            problems.append(f"{where}: missing int 'pid'/'tid'")
+            continue
+        if phase == "M":
+            if event["name"] == "thread_name":
+                named_threads.add((event["pid"], event["tid"]))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: missing non-negative int 'ts'")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: 'X' needs non-negative int 'dur'")
+        if phase == "i" and event.get("s") not in _VALID_SCOPES:
+            problems.append(f"{where}: 'i' needs scope 's' in g/p/t")
+    for index, event in enumerate(events):
+        if (
+            isinstance(event, dict)
+            and event.get("ph") in ("B", "E", "X", "i")
+            and (event.get("pid"), event.get("tid")) not in named_threads
+        ):
+            problems.append(
+                f"traceEvents[{index}]: (pid, tid) has no thread_name "
+                f"metadata"
+            )
+            break
+    return problems

@@ -1,0 +1,226 @@
+"""The offload profiler: per-offload-block aggregates over a trace.
+
+Answers the questions the paper's Section 4 case studies keep asking of
+a timeline: how long did each offload block run, how many bytes did it
+move, and how much of its time was spent *stalled* on ``dma.wait`` —
+the quantity double buffering exists to hide.  Also computes per
+function self/total cycles from the ``vm.enter``/``vm.exit`` spans,
+split between host code and each offload block.
+
+Works on the raw event list; tolerant of ring-buffer truncation
+(unmatched exits are ignored, unclosed enters are discarded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.obs.trace import (
+    EV_DMA_WAIT,
+    EV_DMA_XFER,
+    EV_ENTER,
+    EV_EXIT,
+    EV_OFFLOAD_BEGIN,
+    EV_OFFLOAD_END,
+    Event,
+    TraceRecorder,
+)
+
+
+def _accel_index(track: str) -> Optional[int]:
+    """The accelerator index a track belongs to, or None for host-side
+    tracks (``acc0`` / ``dma0`` / ``acc0.cache`` all map to 0)."""
+    for prefix in ("acc", "dma"):
+        if track.startswith(prefix):
+            digits = track[len(prefix):].split(".", 1)[0]
+            if digits.isdigit():
+                return int(digits)
+    return None
+
+
+class _FuncStats:
+    __slots__ = ("calls", "total", "self")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total = 0
+        self.self = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "calls": self.calls,
+            "total_cycles": self.total,
+            "self_cycles": self.self,
+        }
+
+
+class _OffloadStats:
+    __slots__ = (
+        "entry", "launches", "total_cycles", "bytes_get", "bytes_put",
+        "dma_transfers", "dma_stall_cycles", "functions",
+    )
+
+    def __init__(self, entry: str) -> None:
+        self.entry = entry
+        self.launches = 0
+        self.total_cycles = 0
+        self.bytes_get = 0
+        self.bytes_put = 0
+        self.dma_transfers = 0
+        self.dma_stall_cycles = 0
+        self.functions: dict[str, _FuncStats] = {}
+
+    def as_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "launches": self.launches,
+            "total_cycles": self.total_cycles,
+            "bytes_get": self.bytes_get,
+            "bytes_put": self.bytes_put,
+            "dma_transfers": self.dma_transfers,
+            "dma_stall_cycles": self.dma_stall_cycles,
+            "functions": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.functions.items())
+            },
+        }
+
+
+def offload_profile(
+    events: Union[Iterable[Event], TraceRecorder],
+) -> dict:
+    """Aggregate a trace into a per-offload-block profile.
+
+    Returns a plain dict (JSON-ready)::
+
+        {
+          "offloads": {offload_id: {entry, launches, total_cycles,
+                                    bytes_get, bytes_put, dma_transfers,
+                                    dma_stall_cycles, functions: {...}}},
+          "host": {"functions": {...}},
+        }
+
+    Events on an accelerator (or its DMA channel / cache) between an
+    ``offload.begin`` and its ``offload.end`` are attributed to that
+    offload id; stream order is authoritative (the simulator runs
+    offload threads eagerly, so windows never interleave per core).
+    """
+    if isinstance(events, TraceRecorder):
+        events = events.events()
+
+    offloads: dict[int, _OffloadStats] = {}
+    host_functions: dict[str, _FuncStats] = {}
+    # Per accelerator: (stats, begin_cycle) of the open offload window.
+    open_window: dict[int, tuple[_OffloadStats, int]] = {}
+    # Per track: stack of [function, enter_cycle, child_cycles].
+    call_stacks: dict[str, list[list]] = {}
+
+    def window_stats(track: str) -> Optional[_OffloadStats]:
+        accel = _accel_index(track)
+        if accel is None:
+            return None
+        window = open_window.get(accel)
+        return window[0] if window is not None else None
+
+    for _seq, cycle, track, kind, args in events:
+        if kind == EV_OFFLOAD_BEGIN:
+            offload_id, entry = args
+            stats = offloads.get(offload_id)
+            if stats is None:
+                stats = offloads[offload_id] = _OffloadStats(str(entry))
+            stats.launches += 1
+            accel = _accel_index(track)
+            if accel is not None:
+                open_window[accel] = (stats, cycle)
+        elif kind == EV_OFFLOAD_END:
+            accel = _accel_index(track)
+            window = open_window.pop(accel, None) if accel is not None else None
+            if window is not None:
+                stats, begin_cycle = window
+                stats.total_cycles += cycle - begin_cycle
+        elif kind == EV_DMA_XFER:
+            stats = window_stats(track)
+            if stats is not None:
+                stats.dma_transfers += 1
+                if args[0] == "get":
+                    stats.bytes_get += args[4]
+                else:
+                    stats.bytes_put += args[4]
+        elif kind == EV_DMA_WAIT:
+            stats = window_stats(track)
+            if stats is not None:
+                stall = args[1] - cycle
+                if stall > 0:
+                    stats.dma_stall_cycles += stall
+        elif kind == EV_ENTER:
+            call_stacks.setdefault(track, []).append([args[0], cycle, 0])
+        elif kind == EV_EXIT:
+            stack = call_stacks.get(track)
+            if not stack or stack[-1][0] != args[0]:
+                continue  # truncated trace: unmatched exit
+            name, enter_cycle, child_cycles = stack.pop()
+            total = cycle - enter_cycle
+            if stack:
+                stack[-1][2] += total
+            window = window_stats(track)
+            table = window.functions if window is not None else host_functions
+            stats_f = table.get(name)
+            if stats_f is None:
+                stats_f = table[name] = _FuncStats()
+            stats_f.calls += 1
+            stats_f.total += total
+            stats_f.self += total - child_cycles
+
+    return {
+        "offloads": {
+            offload_id: stats.as_dict()
+            for offload_id, stats in sorted(offloads.items())
+        },
+        "host": {
+            "functions": {
+                name: stats.as_dict()
+                for name, stats in sorted(host_functions.items())
+            }
+        },
+    }
+
+
+def format_profile(profile: dict, top: int = 10) -> str:
+    """Render :func:`offload_profile` output as a text report."""
+    lines: list[str] = []
+    for offload_id, stats in profile["offloads"].items():
+        stall = stats["dma_stall_cycles"]
+        total = stats["total_cycles"]
+        share = (100.0 * stall / total) if total else 0.0
+        lines.append(
+            f"offload {offload_id} ({stats['entry']}): "
+            f"{stats['launches']} launch(es), {total} cycles"
+        )
+        lines.append(
+            f"  dma: {stats['dma_transfers']} transfer(s), "
+            f"{stats['bytes_get']}B in, {stats['bytes_put']}B out, "
+            f"{stall} stall cycles ({share:.1f}% of block)"
+        )
+        lines.extend(_function_rows(stats["functions"], top))
+    host = profile["host"]["functions"]
+    if host:
+        lines.append("host:")
+        lines.extend(_function_rows(host, top))
+    return "\n".join(lines) + "\n"
+
+
+def _function_rows(functions: dict, top: int) -> list[str]:
+    rows = sorted(
+        functions.items(), key=lambda kv: (-kv[1]["self_cycles"], kv[0])
+    )[:top]
+    out = []
+    if rows:
+        out.append(
+            f"  {'function':40s} {'calls':>7s} {'self':>10s} {'total':>10s}"
+        )
+    for name, stats in rows:
+        out.append(
+            f"  {name:40s} {stats['calls']:7d} "
+            f"{stats['self_cycles']:10d} {stats['total_cycles']:10d}"
+        )
+    return out

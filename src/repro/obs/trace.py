@@ -1,0 +1,208 @@
+"""Cycle-accurate event recording.
+
+Events are plain tuples ``(seq, cycle, track, kind, args)``:
+
+* ``seq`` — global emission order (monotonic int), so exports are
+  stable even when two events share a cycle stamp.
+* ``cycle`` — *simulated* time on the emitting core's timeline.  The
+  one exception is :data:`EV_PASS` (compile-pass spans), which is
+  stamped with wall-clock microseconds because compilation happens
+  outside simulated time.
+* ``track`` — the timeline the event belongs to: a core name
+  (``host``, ``acc0``), a DMA channel (``dma0``), a cache
+  (``acc0.cache``) or ``compile``.
+* ``kind`` — one of the ``EV_*`` constants below.
+* ``args`` — a kind-specific tuple (schemas in :data:`EVENT_SCHEMAS`).
+
+Everything in an event is an int or a str, so traces serialize
+canonically and two engines that behave identically produce
+byte-identical exports — the property ``tests/test_vm_equivalence.py``
+enforces.
+
+The recorder is a preallocated ring buffer: when more events are
+emitted than ``capacity``, the oldest are overwritten and
+:attr:`TraceRecorder.dropped` counts the loss (exports surface it
+rather than silently truncating).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: One event: (seq, cycle, track, kind, args).
+Event = tuple[int, int, str, str, tuple]
+
+# --------------------------------------------------------------- event kinds
+
+#: One DMA transfer, issue through completion.
+#: args: (kind, tag, local_addr, outer_addr, size, complete_cycle, serial)
+EV_DMA_XFER = "dma.xfer"
+#: A core blocking on a tag group.  args: (tag, resume_cycle); tag is -1
+#: for ``wait_all``.
+EV_DMA_WAIT = "dma.wait"
+
+#: Software-cache probe outcomes.  args: (line_base_addr,)
+EV_CACHE_HIT = "cache.hit"
+EV_CACHE_MISS = "cache.miss"
+#: A line brought in from main memory.
+#: args: (line_base_addr, end_cycle, organisation)
+EV_CACHE_FILL = "cache.fill"
+#: A dirty line written back.  args: (line_base_addr, end_cycle)
+EV_CACHE_WRITEBACK = "cache.writeback"
+#: A valid line displaced.  args: (line_base_addr,)
+EV_CACHE_EVICT = "cache.evict"
+
+#: One Figure 3 domain lookup that found its duplicate.
+#: args: (outer_probes, inner_probes, end_cycle, method_name)
+EV_DISPATCH_HIT = "dispatch.hit"
+#: A lookup that raised MissingDuplicateError.
+#: args: (outer_probes, inner_probes, end_cycle, duplicate_id)
+EV_DISPATCH_MISS = "dispatch.miss"
+#: On-demand code upload of a non-annotated duplicate.
+#: args: (function, code_bytes, end_cycle)
+EV_CODE_UPLOAD = "vm.code_upload"
+
+#: Function activation on a core.  args: (function,)
+EV_ENTER = "vm.enter"
+EV_EXIT = "vm.exit"
+#: Frame boundary: entry into a function matching the recorder's
+#: ``frame_marker``.  args: (function,)
+EV_FRAME = "vm.frame"
+
+#: Offload block running on an accelerator.  args: (offload_id, entry)
+EV_OFFLOAD_BEGIN = "offload.begin"
+EV_OFFLOAD_END = "offload.end"
+#: Host-side issue / join of an offload.  args: (offload_id, accel_index,
+#: handle) / (handle, finish_cycle)
+EV_OFFLOAD_LAUNCH = "offload.launch"
+EV_OFFLOAD_JOIN = "offload.join"
+
+#: One compile pass (wall-clock!).  args: (pass_name, duration_us, ran)
+EV_PASS = "pass.span"
+
+#: Argument schema per kind, for documentation and validation.
+EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    EV_DMA_XFER: (
+        "kind", "tag", "local_addr", "outer_addr", "size",
+        "complete_cycle", "serial",
+    ),
+    EV_DMA_WAIT: ("tag", "resume_cycle"),
+    EV_CACHE_HIT: ("line_base_addr",),
+    EV_CACHE_MISS: ("line_base_addr",),
+    EV_CACHE_FILL: ("line_base_addr", "end_cycle", "organisation"),
+    EV_CACHE_WRITEBACK: ("line_base_addr", "end_cycle"),
+    EV_CACHE_EVICT: ("line_base_addr",),
+    EV_DISPATCH_HIT: ("outer_probes", "inner_probes", "end_cycle", "method"),
+    EV_DISPATCH_MISS: (
+        "outer_probes", "inner_probes", "end_cycle", "duplicate_id",
+    ),
+    EV_CODE_UPLOAD: ("function", "code_bytes", "end_cycle"),
+    EV_ENTER: ("function",),
+    EV_EXIT: ("function",),
+    EV_FRAME: ("function",),
+    EV_OFFLOAD_BEGIN: ("offload_id", "entry"),
+    EV_OFFLOAD_END: ("offload_id", "entry"),
+    EV_OFFLOAD_LAUNCH: ("offload_id", "accel_index", "handle"),
+    EV_OFFLOAD_JOIN: ("handle", "finish_cycle"),
+    EV_PASS: ("pass_name", "duration_us", "ran"),
+}
+
+
+class NullRecorder:
+    """The disabled recorder: every machine's default.
+
+    Instrumentation sites pre-bind a recorder reference and guard each
+    emission with ``if trace.enabled:``, so with this recorder attached
+    the whole tracing subsystem costs one attribute check per site.
+    """
+
+    enabled = False
+    #: No frame-marker matching when disabled.
+    frame_marker: Optional[str] = None
+
+    def emit(self, cycle: int, track: str, kind: str, args: tuple = ()) -> None:
+        """Discard the event (never called on guarded sites)."""
+
+    def events(self) -> list[Event]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled recorder.  Never mutated; safe to alias widely.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """A preallocated ring buffer of typed, cycle-stamped events.
+
+    Args:
+        capacity: Ring size in events.  Oldest events are overwritten
+            once exceeded; :attr:`dropped` counts the overwritten ones.
+        frame_marker: Function-name suffix whose activations also emit
+            :data:`EV_FRAME` (frame boundaries in the game workloads,
+            where each frame is one ``doFrame`` call).  ``None``
+            disables frame marking.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 1 << 20,
+        frame_marker: Optional[str] = "doFrame",
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._buf: list[Optional[Event]] = [None] * capacity
+        self._n = 0
+        self.frame_marker = frame_marker
+
+    # -------------------------------------------------------------- emission
+
+    def emit(self, cycle: int, track: str, kind: str, args: tuple = ()) -> None:
+        """Record one event.  Hot path: one tuple build, one list store."""
+        n = self._n
+        self._buf[n % self._capacity] = (n, cycle, track, kind, args)
+        self._n = n + 1
+
+    # --------------------------------------------------------------- reading
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wrap-around."""
+        return max(0, self._n - self._capacity)
+
+    def __len__(self) -> int:
+        """Events currently held (≤ capacity)."""
+        return min(self._n, self._capacity)
+
+    def events(self) -> list[Event]:
+        """The retained events in emission order (a copy)."""
+        n, cap = self._n, self._capacity
+        if n <= cap:
+            return list(self._buf[:n])  # type: ignore[arg-type]
+        head = n % cap
+        return list(self._buf[head:]) + list(self._buf[:head])  # type: ignore[arg-type]
+
+    def clear(self) -> None:
+        """Forget every event (capacity is retained)."""
+        self._buf = [None] * self._capacity
+        self._n = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(events={len(self)}, dropped={self.dropped}, "
+            f"capacity={self._capacity})"
+        )
+
+
+def tracks(events: Iterable[Event]) -> list[str]:
+    """Distinct track names, sorted (deterministic export order)."""
+    return sorted({event[2] for event in events})

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import MissingDuplicateError
 from repro.machine.cores import Core
+from repro.obs.trace import EV_DISPATCH_HIT, EV_DISPATCH_MISS
 
 
 @dataclass(frozen=True)
@@ -96,25 +97,47 @@ class DomainTable:
         """
         cost = core.cost
         perf = core.perf
+        trace = core.trace
+        start = now
         perf.add("dispatch.domain_lookups")
+        outer_probes = 0
         for index, address in enumerate(self.outer):
             now += cost.domain_probe
+            outer_probes += 1
             perf.add("dispatch.outer_probes")
             if address != host_address:
                 continue
+            inner_probes = 0
             for entry in self.inner[index]:
                 now += cost.inner_domain_probe
+                inner_probes += 1
                 perf.add("dispatch.inner_probes")
                 if entry.duplicate_id == duplicate_id:
                     perf.add("dispatch.domain_hits")
+                    if trace.enabled:
+                        trace.emit(
+                            start, core.name, EV_DISPATCH_HIT,
+                            (outer_probes, inner_probes, now,
+                             self.method_names[index]),
+                        )
                     return entry, now
             perf.add("dispatch.missing_duplicates")
+            if trace.enabled:
+                trace.emit(
+                    start, core.name, EV_DISPATCH_MISS,
+                    (outer_probes, inner_probes, now, duplicate_id),
+                )
             raise MissingDuplicateError(
                 self.method_names[index],
                 duplicate_id,
                 [e.duplicate_id for e in self.inner[index]],
             )
         perf.add("dispatch.missing_duplicates")
+        if trace.enabled:
+            trace.emit(
+                start, core.name, EV_DISPATCH_MISS,
+                (outer_probes, 0, now, duplicate_id),
+            )
         raise MissingDuplicateError(
             f"<host function @{host_address:#x}>",
             duplicate_id,

@@ -24,6 +24,13 @@ from __future__ import annotations
 
 from repro.errors import MachineError
 from repro.machine.cores import AcceleratorCore
+from repro.obs.trace import (
+    EV_CACHE_EVICT,
+    EV_CACHE_FILL,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_CACHE_WRITEBACK,
+)
 from repro.runtime.cachekinds import SOFT_CACHE_KINDS
 
 
@@ -54,6 +61,10 @@ class SoftwareCache:
 
     #: DMA tag reserved for cache traffic.
     CACHE_TAG = 30
+
+    #: Organisation name, matching the cache-kind registry; stamped on
+    #: fill events so traces show which implementation served a line.
+    KIND = "base"
 
     def __init__(
         self,
@@ -90,6 +101,10 @@ class SoftwareCache:
         self._probes = core.perf.slot("softcache.probes")
         self._hits = core.perf.slot("softcache.hits")
         self._misses = core.perf.slot("softcache.misses")
+        #: Pre-bound event sink + track name; one attribute check per
+        #: access when tracing is disabled.
+        self._trace = core.trace
+        self._trace_track = f"{core.name}.cache"
 
     # -------------------------------------------------------- organisation
 
@@ -137,16 +152,28 @@ class SoftwareCache:
         now += self.core.cost.cache_probe
         self._probes.count += 1
         slot = self._resident_slot(line_number)
+        trace = self._trace
         if slot is not None:
             self._touch(self._lines[slot])
             self._hits.count += 1
+            if trace.enabled:
+                trace.emit(
+                    now, self._trace_track, EV_CACHE_HIT,
+                    (line_number * self.line_size,),
+                )
             return slot, now
         self._misses.count += 1
+        if trace.enabled:
+            trace.emit(
+                now, self._trace_track, EV_CACHE_MISS,
+                (line_number * self.line_size,),
+            )
         return None, now
 
     def _writeback(self, slot: int, now: int) -> int:
         """Write a dirty line back to main memory (blocking)."""
         line = self._lines[slot]
+        start = now
         dma = self.core.dma
         assert dma is not None
         now = dma.put(
@@ -159,12 +186,25 @@ class SoftwareCache:
         now = dma.wait(self.CACHE_TAG, now)
         self.core.perf.add("softcache.writebacks")
         line.dirty = False
+        trace = self._trace
+        if trace.enabled:
+            trace.emit(
+                start, self._trace_track, EV_CACHE_WRITEBACK,
+                (line.tag * self.line_size, now),
+            )
         return now
 
     def _fill(self, line_number: int, now: int) -> tuple[int, int]:
         """Bring a line in from main memory; returns (slot, time)."""
+        start = now
         slot, now = self._prepare_victim(line_number, now)
         line = self._lines[slot]
+        trace = self._trace
+        if line.valid and trace.enabled:
+            trace.emit(
+                now, self._trace_track, EV_CACHE_EVICT,
+                (line.tag * self.line_size,),
+            )
         if line.valid and line.dirty:
             now = self._writeback(slot, now)
         dma = self.core.dma
@@ -182,6 +222,11 @@ class SoftwareCache:
         line.dirty = False
         self._touch(line)
         self.core.perf.add("softcache.fills")
+        if trace.enabled:
+            trace.emit(
+                start, self._trace_track, EV_CACHE_FILL,
+                (line_number * self.line_size, now, self.KIND),
+            )
         return slot, now
 
     def _ensure(self, line_number: int, now: int) -> tuple[int, int]:
@@ -210,11 +255,22 @@ class SoftwareCache:
             now += self.core.cost.cache_probe
             self._probes.count += 1
             slot = self._resident_slot(line_number)
+            trace = self._trace
             if slot is not None:
                 self._touch(self._lines[slot])
                 self._hits.count += 1
+                if trace.enabled:
+                    trace.emit(
+                        now, self._trace_track, EV_CACHE_HIT,
+                        (line_number * self.line_size,),
+                    )
             else:
                 self._misses.count += 1
+                if trace.enabled:
+                    trace.emit(
+                        now, self._trace_track, EV_CACHE_MISS,
+                        (line_number * self.line_size,),
+                    )
                 slot, now = self._fill(line_number, now)
             return (
                 ls.read_unchecked(self._slot_local_addr(slot) + offset, size),
@@ -293,6 +349,8 @@ class SoftwareCache:
 class DirectMappedCache(SoftwareCache):
     """Each main-memory line maps to exactly one slot."""
 
+    KIND = "direct"
+
     def _candidate_slots(self, line_number: int) -> list[int]:
         return [line_number % self.num_lines]
 
@@ -311,6 +369,8 @@ class DirectMappedCache(SoftwareCache):
 
 class SetAssociativeCache(SoftwareCache):
     """N-way set associative with LRU replacement within a set."""
+
+    KIND = "setassoc"
 
     def __init__(self, *args: object, ways: int = 4, **kwargs: object):
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
@@ -344,6 +404,8 @@ class VictimCache(DirectMappedCache):
     instead of being dropped, so alternating accesses to two conflicting
     lines stop thrashing main memory.
     """
+
+    KIND = "victim"
 
     def __init__(self, *args: object, victim_slots: int = 4, **kwargs: object):
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
@@ -392,8 +454,15 @@ class VictimCache(DirectMappedCache):
                 self._victim_range(), key=lambda s: self._lines[s].last_used
             )
             dest_line = self._lines[dest]
-            if dest_line.valid and dest_line.dirty:
-                now = self._writeback(dest, now)
+            if dest_line.valid:
+                trace = self._trace
+                if trace.enabled:
+                    trace.emit(
+                        now, self._trace_track, EV_CACHE_EVICT,
+                        (dest_line.tag * self.line_size,),
+                    )
+                if dest_line.dirty:
+                    now = self._writeback(dest, now)
             self._move_line(primary, dest)
         return primary, now
 

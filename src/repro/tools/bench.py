@@ -8,7 +8,8 @@ a machine-readable report to ``BENCH_vm.json``.
 Usage::
 
     PYTHONPATH=src python -m repro.tools.bench [--out BENCH_vm.json]
-        [--repeats 3] [--quick]
+        [--repeats 3] [--quick] [--trace FILE]
+        [--trace-format chrome|timeline|profile]
 
 The headline number is the Figure 2 game-frame workload: the acceptance
 target for the compiled engine is a >= 3x speedup there.
@@ -150,6 +151,10 @@ def bench_workload(spec: dict, repeats: int) -> dict:
         "compiled_seconds": round(compiled_s, 6),
         "speedup": round(ref_s / compiled_s, 3),
         "engines_identical": identical,
+        # Full counter snapshot of the (engine-identical) run, so the
+        # report carries the paper's per-experiment quantities — cache
+        # hit rates, DMA bytes, dispatch probes — alongside the timings.
+        "perf_counters": ref_result.machine.perf.as_dict(),
     }
 
 
@@ -232,6 +237,16 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="smaller workloads, one repetition (CI smoke mode)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also trace one compiled run of the headline game-frame "
+             "workload and export it to FILE",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["chrome", "timeline", "profile"],
+        default="chrome",
+        help="export format for --trace (default: chrome)",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else max(1, args.repeats)
 
@@ -245,6 +260,23 @@ def main(argv: list[str] | None = None) -> int:
             f"compiled {entry['compiled_seconds']:8.4f}s  "
             f"speedup {entry['speedup']:5.2f}x  [{status}]"
         )
+
+    if args.trace is not None:
+        from repro.obs import TraceRecorder
+        from repro.tools.run import write_trace
+
+        headline_spec = next(
+            s for s in workloads(args.quick) if s["name"] == "game-frame"
+        )
+        config = CONFIGS[headline_spec["config"]]
+        program = compile_program(
+            headline_spec["source"], config, headline_spec["options"]
+        )
+        machine = Machine(config)
+        recorder = TraceRecorder()
+        machine.attach_trace(recorder)
+        run_program(program, machine, RunOptions(engine="compiled"))
+        write_trace(recorder, args.trace, args.trace_format)
 
     compile_cache = bench_compile_cache(repeats)
     cache_status = "ok" if compile_cache["artifact_identical"] else "MISMATCH"

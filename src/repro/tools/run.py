@@ -6,7 +6,8 @@ Usage::
         [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
         [--wordaddr hybrid|emulate] [--dump-ir] [--perf] [--record-races]
         [--dump-after PASS] [--time-passes] [--cache-dir DIR]
-        [--emit-artifact PATH]
+        [--emit-artifact PATH] [--trace FILE]
+        [--trace-format chrome|timeline|profile]
 
 A ``.json`` input is loaded as a serialized program artifact (see
 ``--emit-artifact`` and :mod:`repro.ir.serialize`) instead of being
@@ -28,6 +29,13 @@ from repro.ir.printer import format_program
 from repro.ir.serialize import ArtifactError, load_program, save_program
 from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
 from repro.machine.machine import Machine
+from repro.obs import (
+    TraceRecorder,
+    chrome_trace_json,
+    format_profile,
+    format_timeline,
+    offload_profile,
+)
 from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.vm.interpreter import RunOptions, run_program
 
@@ -89,7 +97,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["compiled", "reference"], default=None,
         help="execution engine (default: the compiled closure engine)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a cycle-accurate event trace of the run to FILE "
+             "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["chrome", "timeline", "profile"],
+        default="chrome",
+        help="trace export format: Chrome/Perfetto trace_event JSON "
+             "(default), a flat text timeline, or a per-offload profile",
+    )
     return parser
+
+
+def export_trace(recorder, fmt: str) -> str:
+    """Render a recorder in one of the ``--trace-format`` flavours."""
+    if fmt == "chrome":
+        return chrome_trace_json(recorder)
+    if fmt == "timeline":
+        return format_timeline(recorder)
+    return format_profile(offload_profile(recorder))
+
+
+def write_trace(recorder, path: str, fmt: str) -> None:
+    text = export_trace(recorder, fmt)
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    dropped = recorder.dropped
+    note = f" ({dropped} oldest events dropped)" if dropped else ""
+    print(
+        f"-- trace: {len(recorder)} events -> {path}{note}", file=sys.stderr
+    )
 
 
 def _compile(args, source: str):
@@ -178,8 +220,13 @@ def main(argv: list[str] | None = None) -> int:
         racecheck="record" if args.record_races else "raise",
         engine=args.engine,
     )
+    machine = Machine(config)
+    recorder = None
+    if args.trace is not None:
+        recorder = TraceRecorder()
+        machine.attach_trace(recorder)
     try:
-        result = run_program(program, Machine(config), run_options)
+        result = run_program(program, machine, run_options)
     except ValueError as error:
         # e.g. an unknown engine name in REPRO_VM_ENGINE
         print(f"error: {error}", file=sys.stderr)
@@ -189,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for core, value in result.output:
         print(f"[{core}] {value}")
+    if recorder is not None:
+        write_trace(recorder, args.trace, args.trace_format)
     print(f"-- {result.cycles} simulated cycles on {config.name}", file=sys.stderr)
     if result.races:
         print(f"-- {len(result.races)} DMA race(s) recorded:", file=sys.stderr)

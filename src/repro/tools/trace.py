@@ -1,0 +1,201 @@
+"""Trace an OffloadMini program and export the event timeline.
+
+Usage::
+
+    python -m repro.tools.trace program.om [--target cell|smp|dsp]
+        [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
+        [--wordaddr hybrid|emulate] [--engine compiled|reference]
+        [--format chrome|timeline|profile] [--out FILE]
+        [--capacity N] [--frame-marker SUFFIX] [--compile-spans]
+
+    python -m repro.tools.trace --validate TRACE.json
+
+The first form compiles the program, runs it with a
+:class:`~repro.obs.trace.TraceRecorder` attached, and writes the export
+to ``--out`` (stdout by default).  ``--compile-spans`` additionally runs
+the compilation through the pass manager with per-pass span events on
+the ``compile`` track — note those spans carry *wall-clock*
+microseconds, so the export is no longer run-to-run byte-identical.
+
+The second form loads an exported Chrome trace JSON file and checks it
+against the structural trace-event rules Perfetto relies on, printing
+any problems; exit status 0 means the file validates.
+
+Exit status: 0 on success, 1 on compile/validation errors, 2 on runtime
+traps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.compiler.driver import CompileOptions
+from repro.compiler.passes import PassManager
+from repro.errors import CompileError, ReproError
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.obs import (
+    NULL_RECORDER,
+    TraceRecorder,
+    chrome_trace_json,
+    format_profile,
+    format_timeline,
+    offload_profile,
+    validate_chrome_trace,
+)
+from repro.vm.interpreter import RunOptions, run_program
+
+TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "source", nargs="?", default=None,
+        help="OffloadMini source file to trace",
+    )
+    parser.add_argument(
+        "--validate", default=None, metavar="FILE",
+        help="validate an exported Chrome trace JSON file and exit",
+    )
+    parser.add_argument(
+        "--target", choices=sorted(TARGETS), default="cell",
+        help="machine configuration (default: cell)",
+    )
+    parser.add_argument("--optimize", action="store_true",
+                        help="run the IR optimiser")
+    parser.add_argument("--demand-load", action="store_true",
+                        help="enable on-demand code loading")
+    parser.add_argument(
+        "--cache", default="none",
+        help="default software cache for un-annotated offloads",
+    )
+    parser.add_argument(
+        "--wordaddr", choices=["hybrid", "emulate"], default="hybrid",
+        help="addressing mode on word-addressed targets",
+    )
+    parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default=None,
+        help="execution engine (default: the compiled closure engine)",
+    )
+    parser.add_argument(
+        "--format", choices=["chrome", "timeline", "profile"],
+        default="chrome", dest="fmt",
+        help="export format (default: chrome trace_event JSON)",
+    )
+    parser.add_argument(
+        "--out", default="-", metavar="FILE",
+        help="output path (default: stdout)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=1 << 20,
+        help="recorder ring capacity in events (default: 1048576)",
+    )
+    parser.add_argument(
+        "--frame-marker", default="doFrame", metavar="SUFFIX",
+        help="function-name suffix that marks frame boundaries "
+             "(default: doFrame; empty string disables)",
+    )
+    parser.add_argument(
+        "--compile-spans", action="store_true",
+        help="include wall-clock compile-pass spans in the trace "
+             "(breaks run-to-run byte-identity)",
+    )
+    return parser
+
+
+def _validate_file(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"-- {path}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    count = len(trace.get("traceEvents", []))
+    print(f"-- {path}: valid Chrome trace ({count} events)", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate is not None:
+        return _validate_file(args.validate)
+    if args.source is None:
+        print("error: a source file (or --validate) is required",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    recorder = TraceRecorder(
+        capacity=args.capacity,
+        frame_marker=args.frame_marker or None,
+    )
+    config = TARGETS[args.target]
+    options = CompileOptions(
+        wordaddr_mode=args.wordaddr,
+        default_cache=args.cache,
+        optimize=args.optimize,
+        demand_load=args.demand_load,
+    )
+    try:
+        ctx = PassManager.default().run(
+            source,
+            config,
+            options,
+            filename=args.source,
+            trace=recorder if args.compile_spans else NULL_RECORDER,
+        )
+    except CompileError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        return 1
+    program = ctx.program
+
+    machine = Machine(config)
+    machine.attach_trace(recorder)
+    try:
+        result = run_program(program, machine, RunOptions(engine=args.engine))
+    except ReproError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 2
+
+    if args.fmt == "chrome":
+        text = chrome_trace_json(recorder)
+    elif args.fmt == "timeline":
+        text = format_timeline(recorder)
+    else:
+        text = format_profile(offload_profile(recorder))
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"-- {len(recorder)} events "
+            f"({recorder.dropped} dropped) -> {args.out}",
+            file=sys.stderr,
+        )
+    print(
+        f"-- {result.cycles} simulated cycles on {config.name}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

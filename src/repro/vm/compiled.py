@@ -93,6 +93,7 @@ from repro.ir.instructions import (
 from repro.ir.module import IRFunction, IRProgram
 from repro.machine.machine import Machine
 from repro.machine.memory import scalar_codec
+from repro.obs.trace import EV_ENTER, EV_EXIT, EV_FRAME
 from repro.vm.context import ThreadContext
 from repro.vm.interpreter import (
     Interpreter,
@@ -215,6 +216,13 @@ class CompiledInterpreter(Interpreter):
         )
         ctx.now += self._cost.call
         self._sc_calls.count += 1
+        trace = self._trace
+        if trace.enabled:
+            track = ctx.core.name
+            trace.emit(ctx.now, track, EV_ENTER, (function.name,))
+            marker = trace.frame_marker
+            if marker is not None and function.name.endswith(marker):
+                trace.emit(ctx.now, track, EV_FRAME, (function.name,))
         chk = self._chk_discipline and ctx.is_accel and ctx.core.dma is not None
         frame = _Frame(self, ctx, regs, frame_base, ctx.local_store, chk)
         pc = 0
@@ -222,6 +230,12 @@ class CompiledInterpreter(Interpreter):
         try:
             while 0 <= pc < n:
                 pc = ops[pc](frame)
+            # ``ctx.now`` here equals the reference engine's at its exit
+            # emit: the Ret op has already charged ``cost.ret``, and a
+            # fall-off leaves the clock untouched — so one emit covers
+            # both paths with identical stamps.
+            if trace.enabled:
+                trace.emit(ctx.now, ctx.core.name, EV_EXIT, (function.name,))
             return frame.ret
         finally:
             stack.pop(saved_sp)

@@ -46,6 +46,16 @@ from repro.ir.instructions import (
 from repro.ir.module import IRFunction, IRProgram
 from repro.machine.cores import AcceleratorCore
 from repro.machine.machine import Machine
+from repro.obs.trace import (
+    EV_CODE_UPLOAD,
+    EV_ENTER,
+    EV_EXIT,
+    EV_FRAME,
+    EV_OFFLOAD_BEGIN,
+    EV_OFFLOAD_END,
+    EV_OFFLOAD_JOIN,
+    EV_OFFLOAD_LAUNCH,
+)
 from repro.runtime.racecheck import DmaRaceChecker
 from repro.vm.context import FrameStack, ThreadContext, build_strategy
 
@@ -165,6 +175,9 @@ class Interpreter:
         self.program = program
         self.machine = machine
         self.options = options or RunOptions()
+        #: Pre-bound event sink; attach a recorder to the machine
+        #: (``Machine.attach_trace``) *before* building the engine.
+        self._trace = machine.trace
         self.output: list[tuple[str, object]] = []
         self.handles: list[Handle] = []
         self._instructions = 0
@@ -395,6 +408,13 @@ class Interpreter:
         )
         ctx.now += ctx.core.cost.call
         ctx.core.perf.add("vm.calls")
+        trace = self._trace
+        if trace.enabled:
+            track = ctx.core.name
+            trace.emit(ctx.now, track, EV_ENTER, (function.name,))
+            marker = trace.frame_marker
+            if marker is not None and function.name.endswith(marker):
+                trace.emit(ctx.now, track, EV_FRAME, (function.name,))
         code = function.code
         labels = function.labels
         cost = ctx.core.cost
@@ -489,6 +509,10 @@ class Interpreter:
                         regs[instr.dst] = value
                 elif isinstance(instr, Ret):
                     ctx.now += cost.ret
+                    if trace.enabled:
+                        trace.emit(
+                            ctx.now, ctx.core.name, EV_EXIT, (function.name,)
+                        )
                     return regs[instr.src] if instr.src is not None else 0
                 elif isinstance(instr, OffloadLaunch):
                     regs[instr.dst] = self._launch_offload(instr, regs, ctx)
@@ -498,6 +522,8 @@ class Interpreter:
                     raise RuntimeTrap(instr.message)
                 else:
                     raise AssertionError(f"unhandled instruction {instr!r}")
+            if trace.enabled:
+                trace.emit(ctx.now, ctx.core.name, EV_EXIT, (function.name,))
             return 0
         finally:
             ctx.stack.pop(saved_sp)
@@ -605,9 +631,16 @@ class Interpreter:
         cost = core.cost
         code_bytes = 4 * len(callee.code)  # one simulated word per instr
         transfer = -(-code_bytes // cost.dma_bytes_per_cycle)
+        start = ctx.now
         ctx.now += cost.dma_setup + cost.dma_latency + transfer
         core.perf.add("demand.code_loads")
         core.perf.add("demand.code_bytes", code_bytes)
+        trace = self._trace
+        if trace.enabled:
+            trace.emit(
+                start, core.name, EV_CODE_UPLOAD,
+                (callee.name, code_bytes, ctx.now),
+            )
 
     def _exec_intrinsic(
         self, instr: Intrinsic, regs: list[object], ctx: ThreadContext
@@ -726,6 +759,12 @@ class Interpreter:
             offload_id=instr.offload_id,
         )
         entry = self.program.function(instr.entry)
+        trace = self._trace
+        if trace.enabled:
+            trace.emit(
+                start, accelerator.name, EV_OFFLOAD_BEGIN,
+                (instr.offload_id, instr.entry),
+            )
         self._exec_function(entry, [regs[a] for a in instr.args], accel_ctx)
         if strategy is not None:
             accel_ctx.now = strategy.flush(accel_ctx.now)
@@ -740,6 +779,15 @@ class Interpreter:
         )
         self.handles.append(handle)
         ctx.core.perf.add("offload.launches")
+        if trace.enabled:
+            trace.emit(
+                finish, accelerator.name, EV_OFFLOAD_END,
+                (instr.offload_id, instr.entry),
+            )
+            trace.emit(
+                ctx.now, ctx.core.name, EV_OFFLOAD_LAUNCH,
+                (instr.offload_id, accel_index, len(self.handles) - 1),
+            )
         return len(self.handles) - 1
 
     def _join_offload(self, handle_id: int, ctx: ThreadContext) -> None:
@@ -751,6 +799,12 @@ class Interpreter:
         )
         handle.joined = True
         ctx.core.perf.add("offload.joins")
+        trace = self._trace
+        if trace.enabled:
+            trace.emit(
+                ctx.now, ctx.core.name, EV_OFFLOAD_JOIN,
+                (handle_id, handle.finish_time),
+            )
 
 
 def make_interpreter(

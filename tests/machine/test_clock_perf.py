@@ -1,5 +1,7 @@
 """Unit tests for core clocks and performance counters."""
 
+import gc
+
 import pytest
 
 from repro.machine.clock import CoreClock
@@ -114,3 +116,51 @@ class TestPerfCounters:
         perf = PerfCounters()
         perf.add("a", 2)
         assert list(perf) == [("a", 2)]
+
+
+class TestSlotLifetime:
+    """The counter bag must not leak dead slots (regression: the
+    registry used to keep a strong reference to every slot ever
+    created, so long-lived machines re-flushed an ever-growing list)."""
+
+    def test_dead_slot_pruned_from_registry(self):
+        perf = PerfCounters()
+        keep = perf.slot("kept")
+        dead = perf.slot("dropped")
+        dead.count += 1
+        del dead
+        gc.collect()
+        perf.flush()
+        assert perf.live_slots() == [keep]
+
+    def test_dead_slot_count_preserved(self):
+        # The finalizer folds any pending count into the totals, so
+        # dropping a slot mid-batch loses nothing.
+        perf = PerfCounters()
+        slot = perf.slot("hits")
+        slot.count += 7
+        del slot
+        gc.collect()
+        assert perf.get("hits") == 7
+
+    def test_registry_does_not_grow_unbounded(self):
+        perf = PerfCounters()
+        for _ in range(100):
+            slot = perf.slot("churn")
+            slot.count += 1
+            del slot
+        gc.collect()
+        perf.flush()
+        assert len(perf.live_slots()) == 0
+        assert len(perf._slots) == 0
+        assert perf.get("churn") == 100
+
+    def test_reset_prunes_dead_refs(self):
+        perf = PerfCounters()
+        live = perf.slot("a")
+        dead = perf.slot("b")
+        del dead
+        gc.collect()
+        perf.reset()
+        assert perf.live_slots() == [live]
+        assert len(perf._slots) == 1

@@ -1,0 +1,343 @@
+"""Unit tests for the tracing subsystem: recorder, exporters, profiler."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.compiler.passes import PassManager
+from repro.game.sources import ai_kernel_source, figure1_source, figure2_source
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.obs import (
+    NULL_RECORDER,
+    TraceRecorder,
+    chrome_trace,
+    chrome_trace_json,
+    format_profile,
+    format_timeline,
+    offload_profile,
+    validate_chrome_trace,
+)
+from repro.obs.trace import (
+    EV_CACHE_FILL,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_DMA_WAIT,
+    EV_DMA_XFER,
+    EV_ENTER,
+    EV_EXIT,
+    EV_FRAME,
+    EV_OFFLOAD_BEGIN,
+    EV_OFFLOAD_END,
+    EV_PASS,
+    EVENT_SCHEMAS,
+    tracks,
+)
+from repro.vm.interpreter import RunOptions, run_program
+
+
+def traced_run(source, config=CELL_LIKE, options=None, **recorder_kwargs):
+    program = compile_program(source, config, options)
+    machine = Machine(config)
+    recorder = TraceRecorder(**recorder_kwargs)
+    machine.attach_trace(recorder)
+    result = run_program(program, machine, RunOptions())
+    return recorder, result
+
+
+class TestRecorder:
+    def test_emit_and_read_back(self):
+        rec = TraceRecorder(capacity=8)
+        rec.emit(5, "host", EV_ENTER, ("main",))
+        rec.emit(9, "host", EV_EXIT, ("main",))
+        assert len(rec) == 2
+        assert rec.dropped == 0
+        assert rec.events() == [
+            (0, 5, "host", EV_ENTER, ("main",)),
+            (1, 9, "host", EV_EXIT, ("main",)),
+        ]
+
+    def test_ring_wraps_and_counts_drops(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.emit(i, "host", EV_ENTER, (f"f{i}",))
+        assert len(rec) == 4
+        assert rec.dropped == 6
+        # Oldest events are gone; the survivors keep emission order.
+        assert [e[1] for e in rec.events()] == [6, 7, 8, 9]
+        assert [e[0] for e in rec.events()] == [6, 7, 8, 9]
+
+    def test_clear(self):
+        rec = TraceRecorder(capacity=4)
+        rec.emit(1, "host", EV_ENTER, ("f",))
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.events() == []
+        assert rec.dropped == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_null_recorder_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.frame_marker is None
+        NULL_RECORDER.emit(1, "host", EV_ENTER, ("f",))  # no-op
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.events() == []
+
+    def test_tracks_sorted(self):
+        rec = TraceRecorder()
+        rec.emit(1, "dma0", EV_DMA_WAIT, (1, 1))
+        rec.emit(1, "acc0", EV_ENTER, ("f",))
+        rec.emit(2, "host", EV_ENTER, ("g",))
+        assert tracks(rec.events()) == ["acc0", "dma0", "host"]
+
+
+class TestMachineAttachment:
+    def test_default_recorder_is_null(self):
+        machine = Machine(CELL_LIKE)
+        assert machine.trace is NULL_RECORDER
+        assert machine.host.trace is NULL_RECORDER
+        for acc in machine.accelerators:
+            assert acc.trace is NULL_RECORDER
+            assert acc.dma.trace is NULL_RECORDER
+
+    def test_attach_propagates_everywhere(self):
+        machine = Machine(CELL_LIKE)
+        rec = TraceRecorder()
+        machine.attach_trace(rec)
+        assert machine.host.trace is rec
+        for acc in machine.accelerators:
+            assert acc.trace is rec
+            assert acc.dma.trace is rec
+        machine.attach_trace(NULL_RECORDER)
+        assert machine.host.trace is NULL_RECORDER
+
+    def test_untraced_run_records_nothing(self):
+        program = compile_program(figure1_source(), CELL_LIKE)
+        machine = Machine(CELL_LIKE)
+        run_program(program, machine, RunOptions())
+        assert machine.trace is NULL_RECORDER
+
+
+class TestRunEvents:
+    def test_figure1_has_dma_events(self):
+        rec, _ = traced_run(figure1_source())
+        kinds = {e[3] for e in rec.events()}
+        assert EV_DMA_XFER in kinds
+        assert EV_DMA_WAIT in kinds
+        assert EV_ENTER in kinds and EV_EXIT in kinds
+
+    def test_figure2_offload_windows(self):
+        rec, _ = traced_run(figure2_source())
+        events = rec.events()
+        begins = [e for e in events if e[3] == EV_OFFLOAD_BEGIN]
+        ends = [e for e in events if e[3] == EV_OFFLOAD_END]
+        assert len(begins) == len(ends) > 0
+        # Windows live on accelerator tracks and close after they open.
+        for begin, end in zip(begins, ends):
+            assert begin[2].startswith("acc")
+            assert end[1] >= begin[1]
+
+    def test_frame_marker_emits_frames(self):
+        rec, _ = traced_run(figure2_source(frames=3))
+        frames = [e for e in rec.events() if e[3] == EV_FRAME]
+        assert len(frames) == 3
+        assert all(e[4][0].endswith("doFrame") for e in frames)
+
+    def test_frame_marker_disabled(self):
+        rec, _ = traced_run(figure2_source(), frame_marker=None)
+        assert not [e for e in rec.events() if e[3] == EV_FRAME]
+
+    def test_cached_workload_emits_cache_events(self):
+        rec, _ = traced_run(ai_kernel_source(entity_count=8))
+        kinds = {e[3] for e in rec.events()}
+        assert EV_CACHE_MISS in kinds
+        assert EV_CACHE_FILL in kinds
+        assert EV_CACHE_HIT in kinds
+        fills = [e for e in rec.events() if e[3] == EV_CACHE_FILL]
+        # Organisation name is stamped on every fill.
+        assert {e[4][2] for e in fills} == {"direct"}
+
+    def test_cache_hits_match_perf_counters(self):
+        rec, result = traced_run(ai_kernel_source(entity_count=8))
+        perf = result.machine.perf.as_dict()
+        events = rec.events()
+        assert sum(1 for e in events if e[3] == EV_CACHE_HIT) == perf[
+            "softcache.hits"
+        ]
+        assert sum(1 for e in events if e[3] == EV_CACHE_MISS) == perf[
+            "softcache.misses"
+        ]
+
+    def test_dma_transfers_match_perf_counters(self):
+        rec, result = traced_run(figure1_source())
+        perf = result.machine.perf.as_dict()
+        xfers = [e for e in rec.events() if e[3] == EV_DMA_XFER]
+        gets = [e for e in xfers if e[4][0] == "get"]
+        puts = [e for e in xfers if e[4][0] == "put"]
+        assert len(gets) == perf.get("dma.gets", 0)
+        assert len(puts) == perf.get("dma.puts", 0)
+        assert sum(e[4][4] for e in gets) == perf.get("dma.bytes_get", 0)
+
+    def test_events_have_schema_arity(self):
+        rec, _ = traced_run(figure2_source(cache="direct"))
+        for _seq, _cycle, _track, kind, args in rec.events():
+            assert kind in EVENT_SCHEMAS
+            assert len(args) == len(EVENT_SCHEMAS[kind])
+
+
+class TestCompilePassSpans:
+    def test_pass_manager_emits_spans(self):
+        rec = TraceRecorder()
+        PassManager.default().run(
+            figure1_source(), CELL_LIKE, CompileOptions(), trace=rec
+        )
+        spans = [e for e in rec.events() if e[3] == EV_PASS]
+        names = [e[4][0] for e in spans]
+        assert names == list(PassManager.default().names())
+        assert all(e[2] == "compile" for e in spans)
+        # The optimize pass is skipped without -O and marked ran=0.
+        by_name = {e[4][0]: e[4] for e in spans}
+        assert by_name["optimize"][2] == 0
+        assert by_name["parse"][2] == 1
+
+    def test_default_pipeline_traceless(self):
+        ctx = PassManager.default().run(
+            figure1_source(), CELL_LIKE, CompileOptions()
+        )
+        assert ctx.program is not None  # trace defaults to the null recorder
+
+
+class TestChromeExport:
+    def test_trace_validates(self):
+        rec, _ = traced_run(figure2_source(cache="direct"))
+        trace = chrome_trace(rec)
+        assert validate_chrome_trace(trace) == []
+
+    def test_one_thread_per_track(self):
+        rec, _ = traced_run(figure2_source())
+        trace = chrome_trace(rec)
+        names = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert names == set(tracks(rec.events()))
+        assert "host" in names
+        assert any(n.startswith("acc") for n in names)
+        assert any(n.startswith("dma") for n in names)
+
+    def test_spans_have_durations(self):
+        rec, _ = traced_run(figure1_source())
+        trace = chrome_trace(rec)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_dropped_count_surfaced(self):
+        rec, _ = traced_run(figure2_source(), capacity=16)
+        assert rec.dropped > 0
+        trace = chrome_trace(rec)
+        assert trace["otherData"]["dropped_events"] == rec.dropped
+
+    def test_json_round_trips(self):
+        rec, _ = traced_run(figure1_source())
+        text = chrome_trace_json(rec)
+        assert json.loads(text) == chrome_trace(rec)
+
+    def test_validator_rejects_bad_traces(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
+        missing_dur = {
+            "traceEvents": [
+                {
+                    "ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+                    "args": {"name": "host"},
+                },
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+            ]
+        }
+        assert any("dur" in p for p in validate_chrome_trace(missing_dur))
+        unnamed_thread = {
+            "traceEvents": [
+                {"ph": "i", "name": "x", "pid": 1, "tid": 9, "ts": 0, "s": "t"},
+            ]
+        }
+        assert any(
+            "thread_name" in p for p in validate_chrome_trace(unnamed_thread)
+        )
+
+
+class TestTimelineExport:
+    def test_lines_are_ordered_and_filtered(self):
+        rec, _ = traced_run(ai_kernel_source(entity_count=8))
+        cache_kinds = {EV_CACHE_HIT, EV_CACHE_MISS, EV_CACHE_FILL}
+        text = format_timeline(rec, kinds=cache_kinds)
+        lines = [l for l in text.splitlines() if l]
+        assert lines
+        assert all(
+            any(kind in line for kind in cache_kinds) for line in lines
+        )
+        assert "line_base_addr=" in lines[0]
+
+    def test_drop_header(self):
+        rec, _ = traced_run(figure2_source(), capacity=16)
+        text = format_timeline(rec)
+        assert text.startswith(f"# {rec.dropped} oldest events dropped")
+
+
+class TestOffloadProfile:
+    def test_figure2_profile(self):
+        rec, result = traced_run(figure2_source(frames=2))
+        profile = offload_profile(rec)
+        assert set(profile["offloads"]) == {0}
+        stats = profile["offloads"][0]
+        assert stats["launches"] == 2
+        assert stats["total_cycles"] > 0
+        assert stats["bytes_get"] > 0
+        assert stats["dma_transfers"] > 0
+        # Bytes must agree with the machine-wide DMA counters (figure2
+        # only moves data from within its offload windows).
+        perf = result.machine.perf.as_dict()
+        assert stats["bytes_get"] == perf["dma.bytes_get"]
+        assert stats["bytes_put"] == perf["dma.bytes_put"]
+        # Host functions exclude offload-window activity.
+        host = profile["host"]["functions"]
+        assert "GameWorld::doFrame" in host
+        assert stats["entry"] not in host
+
+    def test_self_cycles_sum_to_total(self):
+        rec, _ = traced_run(figure2_source(frames=1))
+        profile = offload_profile(rec)
+        host = profile["host"]["functions"]
+        main = host["main"]
+        total_self = sum(f["self_cycles"] for f in host.values())
+        # main's total spans the whole host timeline minus offload
+        # windows; self times of all host functions partition it.
+        assert total_self == main["total_cycles"]
+
+    def test_stall_cycles_counted(self):
+        rec, _ = traced_run(figure1_source())
+        profile = offload_profile(rec)
+        # Figure 1 waits on real transfer latency inside its offload.
+        stats = profile["offloads"][0]
+        assert stats["dma_stall_cycles"] > 0
+
+    def test_format_profile_renders(self):
+        rec, _ = traced_run(figure2_source())
+        text = format_profile(offload_profile(rec))
+        assert "offload 0" in text
+        assert "stall cycles" in text
+        assert "host:" in text
+
+    def test_truncated_trace_tolerated(self):
+        rec, _ = traced_run(figure2_source(), capacity=64)
+        assert rec.dropped > 0
+        profile = offload_profile(rec)  # must not raise
+        assert isinstance(profile, dict)

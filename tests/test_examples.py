@@ -13,7 +13,10 @@ EXAMPLES = sorted(
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(path, capsys):
+def test_example_runs(path, capsys, monkeypatch):
+    # runpy inherits the process argv (pytest's own flags here); give
+    # each example a clean command line so argparse-based ones work.
+    monkeypatch.setattr(sys, "argv", [str(path)])
     runpy.run_path(str(path), run_name="__main__")
     captured = capsys.readouterr()
     assert captured.out.strip(), f"{path.name} printed nothing"

@@ -27,6 +27,7 @@ from repro.game.sources import (
     move_loop_source,
     word_struct_source,
 )
+from repro.obs import TraceRecorder
 from repro.vm.interpreter import RunOptions, make_interpreter, run_program
 from repro.vm.compiled import CompiledInterpreter
 from tests.properties.test_differential_fuzzing import ProgramBuilder
@@ -39,10 +40,12 @@ def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
 
     Returns the two :class:`RunResult`\\ s after asserting that every
     observable — output, return value, cycle counts, the full perf
-    counter dict, and recorded races — is identical.
+    counter dict, recorded races, and the cycle-stamped event trace —
+    is identical.
     """
     program = compile_program(source, config, compile_options)
     results = []
+    recorders = []
     for engine in ("reference", "compiled"):
         options = run_options or RunOptions()
         options = RunOptions(
@@ -51,7 +54,11 @@ def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
             max_instructions=options.max_instructions,
             engine=engine,
         )
-        results.append(run_program(program, Machine(config), options))
+        machine = Machine(config)
+        recorder = TraceRecorder(capacity=1 << 18)
+        machine.attach_trace(recorder)
+        recorders.append(recorder)
+        results.append(run_program(program, machine, options))
     ref, compiled = results
     assert compiled.output == ref.output
     assert compiled.return_value == ref.return_value
@@ -61,6 +68,8 @@ def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
     assert [r.describe() for r in compiled.races] == [
         r.describe() for r in ref.races
     ]
+    assert recorders[1].events() == recorders[0].events()
+    assert recorders[1].dropped == recorders[0].dropped
     return ref, compiled
 
 
