@@ -1,0 +1,46 @@
+"""Static-checker wall-clock gate.
+
+The whole point of moving DMA-discipline checking to compile time is
+that it is cheap enough to run on every build.  This gate holds the
+analyses to that: running every whole-program analysis (DMA discipline,
+local-store footprint, outer traffic, annotation coverage) over the
+entire game substrate — every generated game source, the demo included —
+must finish well under the CI budget.
+
+Compilation is measured separately and not charged to the checker: the
+budget is for the analyses themselves, which is what this PR added.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import run_analyses
+from repro.compiler.driver import compile_program
+from repro.machine.config import CELL_LIKE
+from repro.tools.check import _game_corpus
+
+#: Seconds allowed for analysing the full game corpus (CI budget: <2s).
+CHECK_BUDGET_SECONDS = 2.0
+
+
+def test_game_corpus_analyses_under_budget():
+    corpus = _game_corpus()
+    programs = [
+        (filename, compile_program(source, CELL_LIKE, filename=filename))
+        for filename, source in corpus
+    ]
+    started = time.perf_counter()
+    total_findings = 0
+    for filename, program in programs:
+        result = run_analyses(program, CELL_LIKE, file=filename)
+        total_findings += len(result.findings)
+    elapsed = time.perf_counter() - started
+    assert elapsed < CHECK_BUDGET_SECONDS, (
+        f"analyses took {elapsed:.2f}s over {len(programs)} game sources "
+        f"(budget {CHECK_BUDGET_SECONDS}s)"
+    )
+    # Sanity: the corpus is not trivially empty and the known outer-loop
+    # warnings are present, so the timer measured real work.
+    assert len(programs) >= 8
+    assert total_findings >= 1

@@ -1,11 +1,23 @@
 """Developer-facing analyses.
 
+* :mod:`repro.analysis.dataflow` — CFG construction over the IR and the
+  generic worklist fixpoint engine the whole-program analyses build on.
+* :mod:`repro.analysis.dmacheck` — flow-sensitive, interprocedural DMA
+  discipline checking (races, leaks, orphan waits).
+* :mod:`repro.analysis.footprint` — local-store footprint estimation
+  per offload block against the target's scratch-pad capacity.
+* :mod:`repro.analysis.traffic` — outer-traffic analysis flagging
+  uncached hot outer loops (the §5 guidance, mechanized).
+* :mod:`repro.analysis.diagnostics` — the unified :class:`Finding`
+  type, the diagnostic-code registry, and text/JSON/SARIF renderers.
+* :mod:`repro.analysis.runner` — :func:`run_analyses`, the driver that
+  runs everything and reports merged findings with per-unit timings.
 * :mod:`repro.analysis.annotations` — computes which virtual methods an
   offload block *would need* in its ``domain(...)`` annotation, the
   quantity whose explosion drove the Section 4.1 restructuring.
-* :mod:`repro.analysis.static_races` — a static DMA race analysis over
-  the IR (the Scratch/TACAS-2010 idea, simplified to per-block abstract
-  interpretation of transfer intervals).
+* :mod:`repro.analysis.static_races` — the seed per-block DMA race
+  analysis, kept as the baseline the CFG-based checker is differentially
+  tested against.
 * :mod:`repro.analysis.metrics` — source-effort metrics (lines of code,
   source deltas) used to reproduce the paper's "~200 additional lines"
   style of claim.
@@ -16,15 +28,21 @@ from repro.analysis.annotations import (
     annotation_requirements,
     report_for_program,
 )
+from repro.analysis.diagnostics import CODES, Finding
 from repro.analysis.metrics import count_loc, source_delta
+from repro.analysis.runner import AnalysisResult, run_analyses
 from repro.analysis.static_races import StaticRaceFinding, find_static_races
 
 __all__ = [
+    "AnalysisResult",
     "AnnotationReport",
+    "CODES",
+    "Finding",
     "StaticRaceFinding",
     "annotation_requirements",
     "count_loc",
     "find_static_races",
     "report_for_program",
+    "run_analyses",
     "source_delta",
 ]

@@ -1,0 +1,352 @@
+"""Unified analysis diagnostics: stable codes, severities, renderers.
+
+Every static analysis in :mod:`repro.analysis` reports through one
+:class:`Finding` type carrying a machine-readable code from the
+:data:`CODES` registry.  The registry is the single source of truth for
+severity and the one-line meaning of each code — the docs table in
+``docs/static-analysis.md`` and the SARIF rule metadata are both
+generated from it.
+
+Renderers: :func:`format_text` (human CLI output), :func:`format_json`
+(canonical machine-readable JSON) and :func:`format_sarif` (SARIF 2.1.0,
+the format CI annotation services ingest).  Baseline suppression:
+:func:`fingerprint` gives each finding a stable identity (independent of
+instruction indices, so unrelated edits don't churn baselines), and
+:func:`load_baseline` / :func:`write_baseline` read and write the
+suppression file consumed by ``repro.tools.check --baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SourceSpan
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_NOTE = "note"
+
+#: Rank for ``--fail-on`` comparisons (higher = more severe).
+_SEVERITY_RANK = {SEV_NOTE: 0, SEV_WARNING: 1, SEV_ERROR: 2}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    severity: str
+    summary: str
+
+
+#: Every diagnostic code the analyses can emit, with severity and a
+#: one-line meaning.  Codes are stable API: tests, baselines and CI
+#: configuration key on them.
+CODES: dict[str, CodeInfo] = {
+    "E-dma-race": CodeInfo(
+        SEV_ERROR,
+        "two in-flight DMA transfers may touch overlapping memory with "
+        "no dma_wait between them",
+    ),
+    "E-dma-leak": CodeInfo(
+        SEV_ERROR,
+        "an offload block can return while DMA transfers it issued are "
+        "still in flight",
+    ),
+    "E-dma-orphan-wait": CodeInfo(
+        SEV_ERROR,
+        "dma_wait on a tag that no execution path ever issued a "
+        "transfer with",
+    ),
+    "E-local-overflow": CodeInfo(
+        SEV_ERROR,
+        "estimated local-store footprint of an offload exceeds the "
+        "target's scratch-pad capacity",
+    ),
+    "W-local-pressure": CodeInfo(
+        SEV_WARNING,
+        "estimated local-store footprint is close to scratch-pad "
+        "capacity",
+    ),
+    "W-local-recursion": CodeInfo(
+        SEV_WARNING,
+        "recursive call cycle reachable from an offload block; frame "
+        "depth is statically unbounded",
+    ),
+    "W-outer-loop-traffic": CodeInfo(
+        SEV_WARNING,
+        "a loop in uncached offload code performs repeated outer-memory "
+        "accesses; a software cache or DMA batching would amortise them",
+    ),
+    "E-domain-missing": CodeInfo(
+        SEV_ERROR,
+        "a virtual method reachable from an offload block is missing "
+        "from its domain(...) annotation",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis result, anchored to a function and instruction.
+
+    ``file`` is the source path the program came from; ``function`` the
+    mangled IR function name (or offload entry); ``instr_index`` the IR
+    instruction the finding anchors to, when one exists.  ``span`` is a
+    source range when the producing analysis works at the AST level.
+    """
+
+    code: str
+    message: str
+    file: str = "<input>"
+    function: str = ""
+    instr_index: Optional[int] = None
+    span: Optional[SourceSpan] = None
+    notes: tuple[str, ...] = ()
+    analysis: str = ""
+
+    @property
+    def severity(self) -> str:
+        return CODES[self.code].severity
+
+    def render(self) -> str:
+        where = self.file
+        if self.span is not None:
+            where = str(self.span.start)
+        elif self.function:
+            where = f"{self.file}:{self.function}"
+            if self.instr_index is not None:
+                where += f"[{self.instr_index}]"
+        text = f"{where}: {self.severity}[{self.code}]: {self.message}"
+        for note in self.notes:
+            text += f"\n  note: {note}"
+        return text
+
+
+def severity_rank(severity: str) -> int:
+    return _SEVERITY_RANK[severity]
+
+
+def meets_threshold(finding: Finding, fail_on: str) -> bool:
+    """True when a finding is at or above the ``--fail-on`` severity."""
+    return severity_rank(finding.severity) >= severity_rank(fail_on)
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic order: severity (errors first), file, function,
+    instruction, code."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            -severity_rank(f.severity),
+            f.file,
+            f.function,
+            f.instr_index if f.instr_index is not None else -1,
+            f.code,
+            f.message,
+        ),
+    )
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def fingerprint(finding: Finding) -> str:
+    """A stable identity for baseline suppression.
+
+    Deliberately excludes instruction indices and note text so that
+    unrelated edits (which shift IR indices) don't invalidate baselines;
+    includes code, file, function and message.
+    """
+    message = finding.message
+    payload = f"{finding.code}|{finding.file}|{finding.function}|{message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str) -> set[str]:
+    """Read a baseline file; returns the suppressed fingerprints."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "suppress" not in data:
+        raise ValueError(f"{path}: not a repro-check baseline file")
+    return set(data["suppress"])
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline suppressing every given finding; returns the
+    number of fingerprints written."""
+    prints = sorted({fingerprint(f) for f in findings})
+    payload = {"version": 1, "tool": "repro-check", "suppress": prints}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(prints)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], suppressed: set[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (kept, suppressed_count)."""
+    kept: list[Finding] = []
+    hidden = 0
+    for finding in findings:
+        if fingerprint(finding) in suppressed:
+            hidden += 1
+        else:
+            kept.append(finding)
+    return kept, hidden
+
+
+# --------------------------------------------------------------- renderers
+
+
+def format_text(findings: list[Finding]) -> str:
+    """One rendered finding per line group (the CLI default)."""
+    return "\n".join(f.render() for f in findings)
+
+
+def findings_to_dicts(findings: list[Finding]) -> list[dict]:
+    out = []
+    for f in findings:
+        entry = {
+            "code": f.code,
+            "severity": f.severity,
+            "message": f.message,
+            "file": f.file,
+            "function": f.function,
+            "fingerprint": fingerprint(f),
+        }
+        if f.instr_index is not None:
+            entry["instr_index"] = f.instr_index
+        if f.span is not None:
+            entry["line"] = f.span.start.line
+            entry["column"] = f.span.start.column
+        if f.notes:
+            entry["notes"] = list(f.notes)
+        if f.analysis:
+            entry["analysis"] = f.analysis
+        out.append(entry)
+    return out
+
+
+def format_json(findings: list[Finding]) -> str:
+    """Canonical JSON: ``{"version": 1, "findings": [...]}``."""
+    payload = {"version": 1, "findings": findings_to_dicts(findings)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_SARIF_LEVEL = {SEV_ERROR: "error", SEV_WARNING: "warning", SEV_NOTE: "note"}
+
+
+def sarif_report(findings: list[Finding]) -> dict:
+    """A SARIF 2.1.0 log object (one run, rules from :data:`CODES`)."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": info.summary},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[info.severity]},
+        }
+        for code, info in sorted(CODES.items())
+    ]
+    results = []
+    for f in findings:
+        location: dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.file},
+            }
+        }
+        if f.span is not None:
+            location["physicalLocation"]["region"] = {
+                "startLine": f.span.start.line,
+                "startColumn": f.span.start.column,
+            }
+        if f.function:
+            location["logicalLocations"] = [
+                {"name": f.function, "kind": "function"}
+            ]
+        message = f.message
+        if f.notes:
+            message += "".join(f"\n{note}" for note in f.notes)
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": _SARIF_LEVEL[f.severity],
+                "message": {"text": message},
+                "locations": [location],
+                "partialFingerprints": {"reproCheck/v1": fingerprint(f)},
+            }
+        )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(findings: list[Finding]) -> str:
+    return (
+        json.dumps(sarif_report(findings), sort_keys=True, indent=2) + "\n"
+    )
+
+
+def validate_sarif(log: object) -> list[str]:
+    """Check the SARIF 2.1.0 required-property subset; returns problems.
+
+    Not a full schema validation — the invariants GitHub code scanning
+    and the SARIF spec both require: version string, runs array, each
+    run's ``tool.driver.name``, and per-result ``ruleId`` /
+    ``message.text`` / a known ``level``.
+    """
+    problems: list[str] = []
+    if not isinstance(log, dict):
+        return ["top level must be an object"]
+    if log.get("version") != "2.1.0":
+        problems.append("version must be the string '2.1.0'")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        driver = run.get("tool", {}).get("driver") if isinstance(run, dict) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}: missing tool.driver.name")
+            continue
+        rule_ids = {
+            rule.get("id")
+            for rule in driver.get("rules", [])
+            if isinstance(rule, dict)
+        }
+        for si, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{si}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere}: not an object")
+                continue
+            if result.get("ruleId") not in rule_ids:
+                problems.append(f"{rwhere}: ruleId not among driver rules")
+            if result.get("level") not in ("error", "warning", "note"):
+                problems.append(f"{rwhere}: bad level")
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{rwhere}: missing message.text")
+    return problems

@@ -1,0 +1,242 @@
+"""Local-store footprint estimation per offload block.
+
+A scratch-pad machine gives each offload a fixed, small budget
+(``MachineConfig.local_store_size``) that must hold every frame of the
+deepest call chain *plus* the runtime's own reservations: the DMA bounce
+buffer at the top of the store and, for cached offloads, the software
+cache's line storage just below it.  Blowing the budget is a *runtime*
+error today (:class:`repro.errors.LocalStoreOverflow`); this analysis
+moves the check to compile time — the §3 capacity-planning argument.
+
+The estimate walks the duplicated accelerator call graph from each
+offload entry: direct :class:`Call` edges plus, for
+:class:`DomainCall` sites, every compiled duplicate in the offload's
+domain table (dispatch may pick any of them).  Frame sizes are rounded
+up to the :class:`repro.vm.context.FrameStack` alignment, so the figure
+is an upper bound on what the allocator can actually use.
+
+Cycles in the call graph make the depth statically unbounded; those get
+``W-local-recursion`` and the cycle is charged once (the minimum any
+execution pays).
+
+Codes: ``E-local-overflow`` when the estimate exceeds capacity,
+``W-local-pressure`` above :data:`PRESSURE_RATIO` of capacity,
+``W-local-recursion`` for call cycles reachable from an offload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Finding
+from repro.ir.instructions import Call, DomainCall
+from repro.ir.module import IRProgram, OffloadMeta
+from repro.machine.config import MachineConfig
+from repro.vm.context import CACHE_LINE_SIZE, CACHE_NUM_LINES, SCRATCH_BYTES
+
+#: Warn when the estimated footprint exceeds this share of capacity.
+PRESSURE_RATIO = 0.85
+
+#: Frame alignment used by the runtime allocator (FrameStack.push).
+_FRAME_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class FootprintEstimate:
+    """The per-offload result, independent of any machine config."""
+
+    offload_id: int
+    entry: str
+    #: Worst-case bytes of stacked frames along the deepest call chain.
+    frame_bytes: int
+    #: Function names along that deepest chain, entry first.
+    deepest_chain: tuple[str, ...]
+    #: Runtime reservations (bounce buffer + software-cache lines).
+    reserved_bytes: int
+    #: Functions participating in a reachable call cycle ("" when none).
+    recursive: tuple[str, ...] = ()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.frame_bytes + self.reserved_bytes
+
+
+def _aligned_frame(size: int) -> int:
+    return (size + _FRAME_ALIGN - 1) // _FRAME_ALIGN * _FRAME_ALIGN
+
+
+def call_targets(program: IRProgram, meta: OffloadMeta, name: str) -> set[str]:
+    """Accel functions one call edge away from ``name``.
+
+    :class:`DomainCall` sites conservatively fan out to every compiled
+    duplicate in the offload's domain table — dispatch may select any of
+    them at run time.
+    """
+    function = program.functions.get(name)
+    if function is None:
+        return set()
+    out: set[str] = set()
+    for instr in function.code:
+        if isinstance(instr, Call) and instr.callee in program.functions:
+            if program.functions[instr.callee].space == "accel":
+                out.add(instr.callee)
+        elif isinstance(instr, DomainCall):
+            for row in meta.domain.inner:
+                for entry in row:
+                    if (
+                        isinstance(entry.target, str)
+                        and entry.target in program.functions
+                    ):
+                        out.add(entry.target)
+    return out
+
+
+def reachable_functions(program: IRProgram, meta: OffloadMeta) -> set[str]:
+    """All accel functions an offload block can reach, entry included."""
+    seen: set[str] = set()
+    frontier = [meta.entry]
+    while frontier:
+        name = frontier.pop()
+        if name in seen or name not in program.functions:
+            continue
+        seen.add(name)
+        frontier.extend(call_targets(program, meta, name))
+    return seen
+
+
+def estimate_offload(
+    program: IRProgram, meta: OffloadMeta
+) -> FootprintEstimate:
+    """Worst-case footprint of one offload block's call graph."""
+    reserved = SCRATCH_BYTES
+    if meta.cache_kind is not None:
+        reserved += CACHE_LINE_SIZE * CACHE_NUM_LINES
+
+    # Depth-first longest path; nodes on the current stack form cycles.
+    best: dict[str, tuple[int, tuple[str, ...]]] = {}
+    on_stack: list[str] = []
+    recursive: set[str] = set()
+
+    def depth_of(name: str) -> tuple[int, tuple[str, ...]]:
+        if name in best:
+            return best[name]
+        if name in on_stack:
+            # Back edge: charge the cycle once, flag every member.
+            recursive.update(on_stack[on_stack.index(name):])
+            return (0, ())
+        function = program.functions.get(name)
+        own = _aligned_frame(function.frame_size) if function else 0
+        on_stack.append(name)
+        deepest = (0, ())
+        for callee in sorted(call_targets(program, meta, name)):
+            sub = depth_of(callee)
+            if sub[0] > deepest[0]:
+                deepest = sub
+        on_stack.pop()
+        result = (own + deepest[0], (name,) + deepest[1])
+        # Don't memoise results computed while inside a cycle: they are
+        # truncated views and would poison later queries.
+        if name not in recursive:
+            best[name] = result
+        return result
+
+    frame_bytes, chain = depth_of(meta.entry)
+    return FootprintEstimate(
+        offload_id=meta.offload_id,
+        entry=meta.entry,
+        frame_bytes=frame_bytes,
+        deepest_chain=chain,
+        reserved_bytes=reserved,
+        recursive=tuple(sorted(recursive)),
+    )
+
+
+def check_offload(
+    program: IRProgram,
+    meta: OffloadMeta,
+    config: MachineConfig,
+    *,
+    file: str = "<input>",
+) -> list[Finding]:
+    """Footprint findings for one offload block under ``config``."""
+    capacity = config.local_store_size
+    if capacity <= 0 or config.shared_memory:
+        return []
+    offload_id = meta.offload_id
+    est = estimate_offload(program, meta)
+    chain = " -> ".join(est.deepest_chain) or meta.entry
+    breakdown = (
+        f"{est.frame_bytes} bytes of frames along {chain}, plus "
+        f"{est.reserved_bytes} bytes reserved by the runtime "
+        f"(bounce buffer"
+        + (" + software cache)" if meta.cache_kind else ")")
+    )
+    findings: list[Finding] = []
+    if est.recursive:
+        findings.append(
+            Finding(
+                code="W-local-recursion",
+                message=(
+                    f"offload #{offload_id} can reach a recursive "
+                    f"call cycle ({', '.join(est.recursive)}); its "
+                    f"frame depth is statically unbounded and the "
+                    f"footprint estimate only charges the cycle once"
+                ),
+                file=file,
+                function=meta.entry,
+                analysis="local-footprint",
+            )
+        )
+    if est.total_bytes > capacity:
+        findings.append(
+            Finding(
+                code="E-local-overflow",
+                message=(
+                    f"offload #{offload_id} needs an estimated "
+                    f"{est.total_bytes} bytes of local store but "
+                    f"{config.name} provides {capacity}"
+                ),
+                file=file,
+                function=meta.entry,
+                notes=(breakdown,),
+                analysis="local-footprint",
+            )
+        )
+    elif est.total_bytes > capacity * PRESSURE_RATIO:
+        findings.append(
+            Finding(
+                code="W-local-pressure",
+                message=(
+                    f"offload #{offload_id} uses an estimated "
+                    f"{est.total_bytes} of {capacity} local-store "
+                    f"bytes on {config.name} "
+                    f"({est.total_bytes * 100 // capacity}%)"
+                ),
+                file=file,
+                function=meta.entry,
+                notes=(breakdown,),
+                analysis="local-footprint",
+            )
+        )
+    return findings
+
+
+def check_program(
+    program: IRProgram,
+    config: MachineConfig,
+    *,
+    file: str = "<input>",
+) -> list[Finding]:
+    """Footprint findings for every offload block under ``config``.
+
+    Shared-memory machines (``local_store_size == 0``) have no scratch
+    pad to overflow, so the analysis is a no-op there.
+    """
+    findings: list[Finding] = []
+    for offload_id in sorted(program.offload_meta):
+        findings.extend(
+            check_offload(
+                program, program.offload_meta[offload_id], config, file=file
+            )
+        )
+    return findings

@@ -1,0 +1,217 @@
+"""Outer-traffic analysis: flag uncached hot outer loops.
+
+On a scratch-pad machine every :data:`AccSpace.OUTER` load or store an
+offload executes crosses the memory-space boundary.  Without a software
+cache the runtime's :class:`repro.vm.context.RawDmaStrategy` turns each
+one into a blocking bounce-buffer DMA round trip — two orders of
+magnitude slower than a local access under the default cost model.  An
+outer access *inside a loop* pays that toll every iteration; the paper's
+§5 guidance is to either put a software cache in front of the accesses
+or batch them into one bulk DMA outside the loop.  This analysis
+mechanizes the guidance.
+
+For every natural loop of every accel function reachable from an
+*uncached* offload block, the analysis counts outer access sites
+(``Load``/``Store``/``Copy`` touching OUTER space), resolves their
+addresses with the shared symbolic-value domain, and *coalesces* sites
+that provably hit the same region+offset (those would share a cache
+line or a single batched transfer).  Loops whose coalesced count meets
+:data:`HOT_LOOP_THRESHOLD` get ``W-outer-loop-traffic`` with a concrete
+per-iteration byte estimate and the two §5 remedies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import (
+    ControlFlowGraph,
+    SymAddr,
+    ValuesAnalysis,
+    build_cfg,
+    eval_value_instr,
+    solve_forward,
+    thaw_values,
+)
+from repro.analysis.diagnostics import Finding
+from repro.analysis.footprint import reachable_functions
+from repro.ir.instructions import AccSpace, Copy, Load, Store
+from repro.ir.module import IRFunction, IRProgram
+
+#: Minimum coalesced outer-access sites per loop iteration to warn.
+HOT_LOOP_THRESHOLD = 1
+
+
+@dataclass(frozen=True)
+class OuterAccess:
+    """One outer-memory access site inside a loop body."""
+
+    instr_index: int
+    kind: str  # "load" | "store" | "copy-in" | "copy-out"
+    size: int
+    addr: object  # SymAddr | int | None (statically unresolved)
+
+
+@dataclass(frozen=True)
+class LoopTraffic:
+    """Per-loop result: raw sites, coalesced count and byte estimate."""
+
+    function: str
+    header_index: int  # first instruction index of the loop header
+    accesses: tuple[OuterAccess, ...]
+    coalesced_sites: int
+    bytes_per_iteration: int
+
+
+def _outer_accesses_in(
+    function: IRFunction, cfg: ControlFlowGraph, body: frozenset
+) -> list[OuterAccess]:
+    """Outer access sites in a loop body, with resolved addresses.
+
+    Register values are taken from the solved whole-function value
+    analysis at each block entry and replayed through the block, so an
+    address computed before the loop still resolves inside it.
+    """
+    result = solve_forward(cfg, ValuesAnalysis(function))
+    accesses: list[OuterAccess] = []
+    for block_index in sorted(body):
+        state = result.block_in.get(block_index)
+        if state is None:
+            continue
+        values = thaw_values(state)
+        for index, instr in cfg.blocks[block_index].instructions(function):
+            if isinstance(instr, Load) and instr.space is AccSpace.OUTER:
+                accesses.append(
+                    OuterAccess(index, "load", instr.size, values.get(instr.addr))
+                )
+            elif isinstance(instr, Store) and instr.space is AccSpace.OUTER:
+                accesses.append(
+                    OuterAccess(index, "store", instr.size, values.get(instr.addr))
+                )
+            elif isinstance(instr, Copy):
+                if instr.src_space is AccSpace.OUTER:
+                    accesses.append(
+                        OuterAccess(
+                            index, "copy-in", instr.size, values.get(instr.src_addr)
+                        )
+                    )
+                if instr.dst_space is AccSpace.OUTER:
+                    accesses.append(
+                        OuterAccess(
+                            index, "copy-out", instr.size, values.get(instr.dst_addr)
+                        )
+                    )
+            eval_value_instr(instr, index, values)
+    return accesses
+
+
+def _coalesce(accesses: list[OuterAccess]) -> tuple[int, int]:
+    """(coalesced site count, bytes per iteration).
+
+    Sites whose addresses resolve to the same region+offset merge (the
+    widest access wins); unresolved or widened addresses stay distinct —
+    there is nothing static to coalesce them on.
+    """
+    merged: dict[object, int] = {}
+    distinct = 0
+    distinct_bytes = 0
+    for access in accesses:
+        addr = access.addr
+        if isinstance(addr, SymAddr) and addr.offset is not None:
+            key = (addr.region, addr.offset)
+            merged[key] = max(merged.get(key, 0), access.size)
+        elif isinstance(addr, int):
+            key = ("absolute", addr)
+            merged[key] = max(merged.get(key, 0), access.size)
+        else:
+            distinct += 1
+            distinct_bytes += access.size
+    return distinct + len(merged), distinct_bytes + sum(merged.values())
+
+
+def analyze_function(function: IRFunction) -> list[LoopTraffic]:
+    """Loop traffic summaries for one accel function (cache-agnostic)."""
+    cfg = build_cfg(function)
+    loops = cfg.natural_loops()
+    if not loops:
+        return []
+    out: list[LoopTraffic] = []
+    for loop in loops:
+        accesses = _outer_accesses_in(function, cfg, loop.body)
+        if not accesses:
+            continue
+        sites, nbytes = _coalesce(accesses)
+        out.append(
+            LoopTraffic(
+                function=function.name,
+                header_index=cfg.blocks[loop.header].start,
+                accesses=tuple(accesses),
+                coalesced_sites=sites,
+                bytes_per_iteration=nbytes,
+            )
+        )
+    return out
+
+
+def uncached_reachable(program: IRProgram) -> set[str]:
+    """Accel functions reachable from at least one *uncached* offload.
+
+    Functions reachable only from cached offloads are exempt from the
+    traffic warning: their outer accesses hit the software cache, which
+    is precisely the remedy the warning suggests.
+    """
+    reach: set[str] = set()
+    for meta in program.offload_meta.values():
+        if meta.cache_kind is None:
+            reach |= reachable_functions(program, meta)
+    return reach
+
+
+def check_function(
+    function: IRFunction, *, file: str = "<input>"
+) -> list[Finding]:
+    """``W-outer-loop-traffic`` findings for one (uncached) function."""
+    findings: list[Finding] = []
+    for loop in analyze_function(function):
+        if loop.coalesced_sites < HOT_LOOP_THRESHOLD:
+            continue
+        raw = len(loop.accesses)
+        coalesced = (
+            f"{loop.coalesced_sites} coalesced outer access"
+            f"{'es' if loop.coalesced_sites != 1 else ''}"
+        )
+        if raw != loop.coalesced_sites:
+            coalesced += f" ({raw} sites before coalescing)"
+        findings.append(
+            Finding(
+                code="W-outer-loop-traffic",
+                message=(
+                    f"loop at instruction {loop.header_index} performs "
+                    f"{coalesced}, ~{loop.bytes_per_iteration} bytes, "
+                    f"per iteration in uncached offload code"
+                ),
+                file=file,
+                function=function.name,
+                instr_index=loop.header_index,
+                notes=(
+                    "each access is a blocking bounce-buffer DMA round "
+                    "trip; annotate the offload block with cache(...) "
+                    "or hoist the accesses into one bulk dma_get/"
+                    "dma_put outside the loop",
+                ),
+                analysis="outer-traffic",
+            )
+        )
+    return findings
+
+
+def check_program(
+    program: IRProgram, *, file: str = "<input>"
+) -> list[Finding]:
+    """``W-outer-loop-traffic`` findings for uncached offload blocks."""
+    reach = uncached_reachable(program)
+    findings: list[Finding] = []
+    for function in sorted(program.accel_functions(), key=lambda f: f.name):
+        if function.name in reach:
+            findings.extend(check_function(function, file=file))
+    return findings

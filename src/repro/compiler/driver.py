@@ -2,7 +2,7 @@
 
 The pipeline itself lives in :mod:`repro.compiler.passes` as an explicit
 pass manager (parse -> sema -> layout -> domains -> offload-meta ->
-lower-host -> drain-duplicates -> optimize -> validate).  This module
+lower-host -> drain-duplicates -> optimize -> validate -> analyze).  This module
 keeps the pieces the passes share: :class:`CompileOptions`, the
 :class:`Compiler` state object (layout, duplication worklist, the
 growing program) and the public :func:`compile_program` entry point,
@@ -53,6 +53,9 @@ class CompileOptions:
             missing-duplicate exceptions for outer receivers, at a
             first-dispatch code-upload cost per accelerator.
         dump_ir: Attach a printable IR dump to the program (debugging).
+        analyze: Run the whole-program static analyses (DMA discipline,
+            local-store footprint, outer traffic, annotation coverage)
+            as a pipeline pass; findings land on the pass context.
     """
 
     wordaddr_mode: str = "hybrid"
@@ -60,6 +63,7 @@ class CompileOptions:
     optimize: bool = False
     demand_load: bool = False
     dump_ir: bool = False
+    analyze: bool = False
 
     def __post_init__(self) -> None:
         if self.wordaddr_mode not in ("hybrid", "emulate"):

@@ -63,6 +63,13 @@ class PassContext:
         self.timings: list[PassTiming] = []
         #: pass name -> dump text, for passes named in ``dump_after``.
         self.dumps: dict[str, str] = {}
+        #: The trace recorder the pipeline was run with (``analyze``
+        #: forwards it so analysis spans land next to pass spans).
+        self.trace = NULL_RECORDER
+        #: Findings from the ``analyze`` pass (when options.analyze).
+        self.findings: list = []
+        #: Per-analysis timings from the ``analyze`` pass.
+        self.analysis_timings: list = []
 
     @property
     def program(self):
@@ -185,6 +192,7 @@ class PassManager:
             if name is not None:
                 self.get(name)  # raise early on typos
         ctx = PassContext(source, config, options, filename)
+        ctx.trace = trace
         elapsed_us = 0
         for p in self._passes:
             if p.skip is not None and p.skip(ctx):
@@ -386,6 +394,28 @@ def _pass_validate(ctx: PassContext) -> None:
     ctx.program.validate()
 
 
+def _pass_analyze(ctx: PassContext) -> None:
+    from repro.analysis.runner import run_analyses
+
+    result = run_analyses(
+        ctx.program,
+        ctx.config,
+        info=ctx.info,
+        file=ctx.filename,
+        trace=ctx.trace,
+    )
+    ctx.findings = result.findings
+    ctx.analysis_timings = result.timings
+
+
+def _skip_analyze(ctx: PassContext) -> bool:
+    return not getattr(ctx.options, "analyze", False)
+
+
+def _dump_analyze(ctx: PassContext) -> str:
+    return "\n".join(f.render() for f in ctx.findings) or "; no findings"
+
+
 def _dump_program(ctx: PassContext) -> str:
     from repro.ir.printer import format_program
 
@@ -434,6 +464,13 @@ _DEFAULT_PASSES: tuple[Pass, ...] = (
         skip=_skip_optimize,
     ),
     Pass("validate", _pass_validate, "structural sanity checks", _dump_program),
+    Pass(
+        "analyze",
+        _pass_analyze,
+        "whole-program static analyses (when CompileOptions.analyze)",
+        _dump_analyze,
+        skip=_skip_analyze,
+    ),
 )
 
 #: Names of the standard pipeline, in order (argparse choices etc.).

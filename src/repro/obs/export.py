@@ -26,6 +26,7 @@ import json
 from typing import Iterable, Union
 
 from repro.obs.trace import (
+    EV_ANALYSIS,
     EV_CACHE_EVICT,
     EV_CACHE_FILL,
     EV_CACHE_HIT,
@@ -84,6 +85,8 @@ def _name_for(kind: str, args: tuple) -> str:
         return f"upload {args[0]}"
     if kind == EV_PASS:
         return f"pass {args[0]}"
+    if kind == EV_ANALYSIS:
+        return f"{args[0]} {args[1]}"
     return kind
 
 
@@ -145,6 +148,9 @@ def chrome_trace(events: Union[Iterable[Event], TraceRecorder]) -> dict:
         elif kind == EV_PASS:
             base["ph"] = "X"
             base["dur"] = args[1]
+        elif kind == EV_ANALYSIS:
+            base["ph"] = "X"
+            base["dur"] = args[2]
         elif kind in _SPAN_END_INDEX:
             base["ph"] = "X"
             base["dur"] = args[_SPAN_END_INDEX[kind]] - cycle

@@ -80,6 +80,10 @@ EV_OFFLOAD_JOIN = "offload.join"
 #: One compile pass (wall-clock!).  args: (pass_name, duration_us, ran)
 EV_PASS = "pass.span"
 
+#: One static analysis over one function/offload (wall-clock, like
+#: :data:`EV_PASS`).  args: (analysis, function, duration_us)
+EV_ANALYSIS = "analysis.span"
+
 #: Argument schema per kind, for documentation and validation.
 EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     EV_DMA_XFER: (
@@ -105,6 +109,7 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     EV_OFFLOAD_LAUNCH: ("offload_id", "accel_index", "handle"),
     EV_OFFLOAD_JOIN: ("handle", "finish_cycle"),
     EV_PASS: ("pass_name", "duration_us", "ran"),
+    EV_ANALYSIS: ("analysis", "function", "duration_us"),
 }
 
 

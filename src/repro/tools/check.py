@@ -1,95 +1,231 @@
-"""Static checks for an OffloadMini source file.
+"""Static checks for OffloadMini sources.
 
 Usage::
 
-    python -m repro.tools.check program.om [--target cell|smp|dsp]
+    python -m repro.tools.check program.om [more.om ...]
+        [--target cell|smp|dsp] [--format text|json|sarif]
+        [--fail-on error|warning] [--baseline FILE | --write-baseline FILE]
+        [--corpus game] [--out FILE] [--time-passes] [--trace FILE]
 
-Runs the full front end and lowering (so all type/space/addressing
-errors are reported), then:
+Runs the full front end and lowering, then every whole-program static
+analysis (:func:`repro.analysis.run_analyses`): flow-sensitive DMA
+discipline checking, local-store footprint estimation, outer-traffic
+analysis and domain-annotation coverage.  Findings are rendered as
+human-readable text (default), canonical JSON, or SARIF 2.1.0 for CI
+annotation services.
 
-* the static DMA race analysis over every accelerator function, and
-* the annotation-requirement report per offload block (which virtual
-  methods each offload's ``domain(...)`` must list, and which are
-  missing).
+Exit status contract:
 
-Exit status: 0 clean, 1 compile error, 3 findings reported.
+* ``0`` — clean: no findings at or above the ``--fail-on`` severity
+  (suppressed-by-baseline findings don't count).
+* ``1`` — the tool could not do its job: unreadable input, compile
+  error, bad baseline file.
+* ``3`` — findings at or above the ``--fail-on`` severity were
+  reported.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.annotations import report_for_program
-from repro.analysis.static_races import find_races_in_program
-from repro.compiler.driver import CompileOptions, analyze_source
+from repro.analysis.diagnostics import (
+    SEV_ERROR,
+    SEV_WARNING,
+    apply_baseline,
+    format_json,
+    format_sarif,
+    format_text,
+    load_baseline,
+    meets_threshold,
+    sort_findings,
+    write_baseline,
+)
+from repro.analysis.runner import format_analysis_timings
+from repro.compiler.driver import CompileOptions
 from repro.compiler.passes import PassManager, format_timings
 from repro.errors import CompileError
 from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+_EXIT_CONTRACT = """\
+exit status:
+  0   clean - no findings at or above the --fail-on severity
+  1   compile error / unreadable input / bad baseline
+  3   findings at or above the --fail-on severity
+"""
+
+
+def _game_corpus() -> list[tuple[str, str]]:
+    """(pseudo-filename, source) pairs for every game-substrate source."""
+    from repro.game import sources as game
+
+    return [
+        ("game:figure1", game.figure1_source()),
+        ("game:figure2", game.figure2_source()),
+        ("game:components-abstract", game.component_system_source()),
+        (
+            "game:components-specialized",
+            game.component_system_source(specialized=True),
+        ),
+        ("game:ai-kernel", game.ai_kernel_source()),
+        ("game:move-loop", game.move_loop_source()),
+        (
+            "game:move-loop-accessor",
+            game.move_loop_source(use_accessor=True, cache="direct"),
+        ),
+        ("game:word-struct", game.word_struct_source()),
+        ("game:game-demo", game.game_demo_source()),
+    ]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-check", description=__doc__.splitlines()[0]
+        prog="repro-check",
+        description=__doc__.splitlines()[0],
+        epilog=_EXIT_CONTRACT,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("source", help="OffloadMini source file")
+    parser.add_argument(
+        "sources", nargs="*", help="OffloadMini source file(s)"
+    )
     parser.add_argument(
         "--target", choices=sorted(TARGETS), default="cell",
         help="machine configuration (default: cell)",
     )
     parser.add_argument(
+        "--corpus", choices=("game",),
+        help="also check every generated game-substrate source",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="format_", metavar="{text,json,sarif}",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=(SEV_ERROR, SEV_WARNING), default=SEV_WARNING,
+        help="lowest severity that causes exit status 3 "
+             "(default: warning - any finding fails)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings whose fingerprints appear in this "
+             "baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write a baseline suppressing every current finding, "
+             "then exit 0",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="write findings to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--time-passes", action="store_true",
-        help="print per-pass compile timings to stderr",
+        help="print per-pass compile timings and per-analysis timings "
+             "to stderr",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome/Perfetto trace of compile passes and "
+             "analysis spans to FILE",
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        with open(args.source, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    inputs: list[tuple[str, str]] = []
+    for path in args.sources:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                inputs.append((path, handle.read()))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.corpus == "game":
+        inputs.extend(_game_corpus())
+    if not inputs:
+        parser.error("no sources given (pass files or --corpus game)")
+    suppressed: set[str] = set()
+    if args.baseline:
+        try:
+            suppressed = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
     config = TARGETS[args.target]
-    try:
-        # The pass pipeline is run directly (not through the compile
-        # cache): static checking wants every stage to actually execute,
-        # and --time-passes wants its timings.
-        ctx = PassManager.default().run(
-            source, config, CompileOptions(), filename=args.source
-        )
-        program = ctx.program
+    recorder = TraceRecorder() if args.trace else NULL_RECORDER
+    options = CompileOptions(analyze=True)
+    findings = []
+    for filename, source in inputs:
+        try:
+            # The pass pipeline is run directly (not through the compile
+            # cache): static checking wants every stage to actually
+            # execute, and --time-passes wants its timings.
+            ctx = PassManager.default().run(
+                source, config, options, filename=filename, trace=recorder
+            )
+        except CompileError as error:
+            for diagnostic in error.diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
+            return 1
+        findings.extend(ctx.findings)
         if args.time_passes:
+            print(f"== {filename}", file=sys.stderr)
             print(format_timings(ctx.timings), file=sys.stderr)
-        info = analyze_source(source, filename=args.source)
-    except CompileError as error:
-        for diagnostic in error.diagnostics:
-            print(diagnostic.render(), file=sys.stderr)
-        return 1
-    findings = 0
-    races = find_races_in_program(program.accel_functions())
-    for race in races:
-        print(f"race: {race.describe()}")
-        findings += 1
-    for annotation_report in report_for_program(info):
+            print(
+                format_analysis_timings(ctx.analysis_timings),
+                file=sys.stderr,
+            )
+    findings = sort_findings(findings)
+
+    if args.trace:
+        from repro.obs.export import chrome_trace_json
+
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace_json(recorder))
+        print(f"trace written to {args.trace}", file=sys.stderr)
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, findings)
         print(
-            f"offload #{annotation_report.offload_id}: "
-            f"{annotation_report.virtual_call_sites} virtual call site(s), "
-            f"{annotation_report.count} required annotation(s)"
+            f"baseline written to {args.write_baseline} "
+            f"({count} fingerprint(s))",
+            file=sys.stderr,
         )
-        for name in annotation_report.required:
-            print(f"    requires {name}")
-        for name in annotation_report.missing:
-            print(f"    MISSING from domain(...): {name}")
-            findings += 1
-    if findings:
-        print(f"-- {findings} finding(s)", file=sys.stderr)
+        return 0
+
+    findings, hidden = apply_baseline(findings, suppressed)
+    if args.format_ == "text":
+        output = format_text(findings)
+        if output:
+            output += "\n"
+    elif args.format_ == "json":
+        output = format_json(findings)
+    else:
+        output = format_sarif(findings)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+    elif output:
+        sys.stdout.write(output)
+
+    failing = sum(1 for f in findings if meets_threshold(f, args.fail_on))
+    summary = f"-- {len(findings)} finding(s), {failing} at or above " \
+              f"--fail-on={args.fail_on}"
+    if hidden:
+        summary += f", {hidden} suppressed by baseline"
+    if failing:
+        print(summary, file=sys.stderr)
         return 3
-    print("-- clean", file=sys.stderr)
+    print(summary if findings or hidden else "-- clean", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,158 @@
+"""Tests for the compile-time local-store footprint estimator."""
+
+from repro.analysis import footprint
+from repro.compiler.driver import compile_program
+from repro.ir.instructions import Call, Ret
+from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from repro.vm.context import CACHE_LINE_SIZE, CACHE_NUM_LINES, SCRATCH_BYTES
+
+
+def compiled(source, config=CELL_LIKE):
+    return compile_program(source, config)
+
+
+def offload_meta(program, offload_id=0):
+    return program.offload_meta[offload_id]
+
+
+SMALL = """
+int g_data[16];
+void main() {
+    __offload {
+        int a[8];
+        dma_get(&a[0], &g_data[0], 32, 1);
+        dma_wait(1);
+        g_data[0] = a[0];
+    };
+}
+"""
+
+# 70000 ints * 4 bytes = 280000 bytes of frame: more than CELL_LIKE's
+# 256 KiB local store can ever hold.
+HUGE = """
+int g_data[16];
+void main() {
+    __offload {
+        int big[70000];
+        big[0] = g_data[0];
+        g_data[0] = big[0];
+    };
+}
+"""
+
+CACHED = """
+int g_data[16];
+void main() {
+    __offload [cache(direct)] {
+        g_data[0] = g_data[1];
+    };
+}
+"""
+
+
+class TestEstimate:
+    def test_entry_frame_and_chain(self):
+        program = compiled(SMALL)
+        est = footprint.estimate_offload(program, offload_meta(program))
+        assert est.deepest_chain[0] == est.entry
+        assert est.frame_bytes >= 32  # at least the 8-int buffer
+        assert est.frame_bytes % 16 == 0  # allocator alignment
+        assert est.reserved_bytes == SCRATCH_BYTES  # uncached: bounce only
+
+    def test_cache_reservation_added(self):
+        program = compiled(CACHED)
+        est = footprint.estimate_offload(program, offload_meta(program))
+        assert est.reserved_bytes == (
+            SCRATCH_BYTES + CACHE_LINE_SIZE * CACHE_NUM_LINES
+        )
+
+    def test_call_chain_frames_stack(self):
+        source = """
+        int g_x;
+        int helper(int n) {
+            int pad[32];
+            pad[0] = n;
+            return pad[0] + 1;
+        }
+        void main() {
+            __offload {
+                g_x = helper(g_x);
+            };
+        }
+        """
+        program = compiled(source)
+        est = footprint.estimate_offload(program, offload_meta(program))
+        assert len(est.deepest_chain) == 2  # entry -> helper duplicate
+        assert est.frame_bytes >= 128  # helper's 32-int pad is counted
+        assert est.recursive == ()
+
+    def test_recursion_flagged_and_charged_once(self):
+        program = compiled(SMALL)
+        meta = offload_meta(program)
+        entry = program.functions[meta.entry]
+        # Graft a self-call onto the entry to form a cycle.
+        entry.code.insert(
+            len(entry.code) - 1, Call(callee=meta.entry, args=[])
+        )
+        assert isinstance(entry.code[-1], Ret)
+        est = footprint.estimate_offload(program, meta)
+        assert meta.entry in est.recursive
+        # Charged once: still a finite, single-frame-sized estimate.
+        assert est.frame_bytes < 2 * 10_000
+
+
+class TestCheckOffload:
+    def test_overflow_on_cell_like(self):
+        program = compiled(HUGE)
+        findings = footprint.check_program(program, CELL_LIKE)
+        assert [f.code for f in findings] == ["E-local-overflow"]
+        assert str(CELL_LIKE.local_store_size) in findings[0].message
+        assert findings[0].notes  # the breakdown note
+
+    def test_silent_on_shared_memory(self):
+        # SMP has no local store to overflow; same source, no finding.
+        program = compiled(HUGE, SMP_UNIFORM)
+        assert footprint.check_program(program, SMP_UNIFORM) == []
+
+    def test_pressure_warning_below_capacity(self):
+        # Shrink the store so SMALL's footprint lands in the 85%..100%
+        # band: warning, not error.
+        program = compiled(SMALL)
+        est = footprint.estimate_offload(program, offload_meta(program))
+        squeezed = CELL_LIKE.with_(
+            local_store_size=int(est.total_bytes / 0.9)
+        )
+        findings = footprint.check_program(program, squeezed)
+        assert [f.code for f in findings] == ["W-local-pressure"]
+
+    def test_small_offload_clean_on_cell_like(self):
+        program = compiled(SMALL)
+        assert footprint.check_program(program, CELL_LIKE) == []
+
+    def test_recursion_warning_from_check(self):
+        program = compiled(SMALL)
+        meta = offload_meta(program)
+        entry = program.functions[meta.entry]
+        entry.code.insert(
+            len(entry.code) - 1, Call(callee=meta.entry, args=[])
+        )
+        findings = footprint.check_program(program, CELL_LIKE)
+        assert "W-local-recursion" in [f.code for f in findings]
+
+
+class TestGameCorpusQuiet:
+    def test_existing_game_sources_fit_cell_like(self):
+        from repro.game import sources as game
+
+        for source in (
+            game.figure1_source(),
+            game.figure2_source(),
+            game.component_system_source(),
+            game.component_system_source(specialized=True),
+            game.ai_kernel_source(),
+            game.move_loop_source(),
+            game.word_struct_source(),
+            game.game_demo_source(),
+        ):
+            program = compiled(source)
+            assert footprint.check_program(program, CELL_LIKE) == []

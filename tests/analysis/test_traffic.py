@@ -1,0 +1,121 @@
+"""Tests for the outer-traffic (uncached hot loop) analysis."""
+
+from repro.analysis import traffic
+from repro.compiler.driver import compile_program
+from repro.machine.config import CELL_LIKE
+
+LOOPED = """
+int g_data[64];
+int g_sum;
+void main() {
+    __offload {
+        int total = 0;
+        for (int i = 0; i < 64; i++) {
+            total = total + g_data[i];
+        }
+        g_sum = total;
+    };
+}
+"""
+
+CACHED = LOOPED.replace("__offload {", "__offload [cache(direct)] {")
+
+STRAIGHT = """
+int g_data[4];
+void main() {
+    __offload {
+        g_data[0] = g_data[1] + g_data[2];
+    };
+}
+"""
+
+# The same scalar global is read twice per iteration: two raw sites,
+# one coalesced site.
+REPEATED_SCALAR = """
+int g_x;
+int g_sum;
+void main() {
+    __offload {
+        int total = 0;
+        for (int i = 0; i < 8; i++) {
+            total = total + g_x + g_x;
+        }
+        g_sum = total;
+    };
+}
+"""
+
+
+def compiled(source):
+    return compile_program(source, CELL_LIKE)
+
+
+def entry_function(program, offload_id=0):
+    return program.functions[program.offload_meta[offload_id].entry]
+
+
+class TestAnalyzeFunction:
+    def test_loop_traffic_fields(self):
+        loops = traffic.analyze_function(entry_function(compiled(LOOPED)))
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.accesses  # the g_data[i] load
+        assert loop.coalesced_sites >= 1
+        assert loop.bytes_per_iteration >= 4
+        assert any(a.kind == "load" for a in loop.accesses)
+
+    def test_no_loops_no_traffic(self):
+        assert traffic.analyze_function(entry_function(compiled(STRAIGHT))) == []
+
+    def test_repeated_scalar_coalesces(self):
+        loops = traffic.analyze_function(
+            entry_function(compiled(REPEATED_SCALAR))
+        )
+        assert len(loops) == 1
+        loop = loops[0]
+        # Both reads resolve to the same region+offset and merge.
+        assert len(loop.accesses) > loop.coalesced_sites
+
+
+class TestCheckProgram:
+    def test_uncached_loop_flagged(self):
+        findings = traffic.check_program(compiled(LOOPED))
+        assert [f.code for f in findings] == ["W-outer-loop-traffic"]
+        assert "per iteration" in findings[0].message
+        # The §5 remedies are spelled out.
+        assert "cache(" in findings[0].notes[0]
+        assert "dma_get" in findings[0].notes[0]
+
+    def test_cached_offload_exempt(self):
+        assert traffic.check_program(compiled(CACHED)) == []
+
+    def test_straight_line_quiet(self):
+        assert traffic.check_program(compiled(STRAIGHT)) == []
+
+    def test_bulk_dma_loop_quiet(self):
+        # The Figure-1 discipline: one bulk get before the loop, local
+        # accesses inside it -- exactly what the warning recommends.
+        source = """
+        int g_data[64];
+        int g_sum;
+        void main() {
+            __offload {
+                int a[64];
+                dma_get(&a[0], &g_data[0], 256, 1);
+                dma_wait(1);
+                int total = 0;
+                for (int i = 0; i < 64; i++) {
+                    total = total + a[i];
+                }
+                g_sum = total;
+            };
+        }
+        """
+        assert traffic.check_program(compiled(source)) == []
+
+    def test_uncached_reachable_excludes_cached_only(self):
+        program = compiled(CACHED)
+        assert traffic.uncached_reachable(program) == set()
+        program = compiled(LOOPED)
+        reach = traffic.uncached_reachable(program)
+        assert program.offload_meta[0].entry in reach

@@ -44,6 +44,7 @@ class TestRegistry:
             "drain-duplicates",
             "optimize",
             "validate",
+            "analyze",
         )
 
     def test_get_unknown_pass(self):

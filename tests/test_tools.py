@@ -1,5 +1,7 @@
 """Tests for the command-line tools."""
 
+import json
+
 import pytest
 
 from repro.tools import check as check_tool
@@ -34,6 +36,22 @@ void main() {
         dma_put(&a[0], &g_data[4], 32, 2);
         dma_wait(1);
         dma_wait(2);
+    };
+}
+"""
+
+# An uncached offload chasing outer memory in a loop: warning-severity
+# W-outer-loop-traffic, no errors.
+OUTER_LOOP = """
+int g_data[64];
+int g_sum;
+void main() {
+    __offload {
+        int total = 0;
+        for (int i = 0; i < 64; i++) {
+            total = total + g_data[i];
+        }
+        g_sum = total;
     };
 }
 """
@@ -170,25 +188,117 @@ class TestRunTool:
 
 
 class TestCheckTool:
-    def test_clean_program(self, source_file, capsys):
+    # --- the documented exit-code contract: 0 clean, 1 compile error,
+    # --- 3 findings at/above --fail-on.
+
+    def test_clean_program_exits_0(self, source_file, capsys):
         # Shape has no subclasses, so the annotation is complete.
         status = check_tool.main([source_file(CLEAN)])
         assert status == 0
         assert "clean" in capsys.readouterr().err
 
+    def test_compile_error_exits_1(self, source_file, capsys):
+        assert check_tool.main([source_file(BROKEN)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_findings_exit_3(self, source_file, capsys):
+        status = check_tool.main([source_file(RACY)])
+        assert status == 3
+        assert "E-dma-race" in capsys.readouterr().out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            check_tool.main(["--help"])
+        help_text = capsys.readouterr().out
+        assert "exit status" in help_text
+        for line in ("0 ", "1 ", "3 "):
+            assert line in help_text
+
     def test_missing_annotation_reported(self, source_file, capsys):
         source = CLEAN.replace("[domain(Shape::area)]", "")
         status = check_tool.main([source_file(source)])
         assert status == 3
-        assert "MISSING" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "E-domain-missing" in out
+        assert "Shape::area" in out
 
-    def test_static_race_reported(self, source_file, capsys):
-        status = check_tool.main([source_file(RACY)])
+    def test_missing_input_file_exits_1(self, capsys):
+        assert check_tool.main(["/nonexistent/nothing.om"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    # --- --fail-on
+
+    def test_fail_on_error_ignores_warnings(self, source_file, capsys):
+        # An uncached outer loop yields W-outer-loop-traffic (warning).
+        status = check_tool.main([source_file(OUTER_LOOP)])
         assert status == 3
-        assert "race:" in capsys.readouterr().out
+        assert "W-outer-loop-traffic" in capsys.readouterr().out
+        status = check_tool.main(
+            [source_file(OUTER_LOOP), "--fail-on", "error"]
+        )
+        assert status == 0  # warning still printed, but non-fatal
+        assert "W-outer-loop-traffic" in capsys.readouterr().out
 
-    def test_compile_error(self, source_file):
-        assert check_tool.main([source_file(BROKEN)]) == 1
+    def test_fail_on_error_still_fails_on_errors(self, source_file):
+        status = check_tool.main([source_file(RACY), "--fail-on", "error"])
+        assert status == 3
+
+    # --- output formats
+
+    def test_json_format(self, source_file, capsys):
+        status = check_tool.main([source_file(RACY), "--format", "json"])
+        assert status == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        codes = {f["code"] for f in payload["findings"]}
+        assert "E-dma-race" in codes
+        assert all("fingerprint" in f for f in payload["findings"])
+
+    def test_sarif_format_validates(self, source_file, capsys):
+        from repro.analysis.diagnostics import validate_sarif
+
+        status = check_tool.main([source_file(RACY), "--format", "sarif"])
+        assert status == 3
+        log = json.loads(capsys.readouterr().out)
+        assert validate_sarif(log) == []
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "E-dma-race" for r in results)
+
+    def test_out_writes_file(self, source_file, tmp_path, capsys):
+        out = tmp_path / "findings.sarif"
+        status = check_tool.main(
+            [source_file(RACY), "--format", "sarif", "--out", str(out)]
+        )
+        assert status == 3
+        assert capsys.readouterr().out == ""
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+    # --- baseline suppression
+
+    def test_baseline_suppresses_known_findings(
+        self, source_file, tmp_path, capsys
+    ):
+        path = source_file(RACY)
+        baseline = str(tmp_path / "baseline.json")
+        status = check_tool.main([path, "--write-baseline", baseline])
+        assert status == 0
+        capsys.readouterr()
+        status = check_tool.main([path, "--baseline", baseline])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "E-dma-race" not in captured.out
+        assert "suppressed" in captured.err
+
+    def test_bad_baseline_exits_1(self, source_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        status = check_tool.main(
+            [source_file(RACY), "--baseline", str(bad)]
+        )
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    # --- misc plumbing
 
     def test_time_passes(self, source_file, capsys):
         status = check_tool.main([source_file(CLEAN), "--time-passes"])
@@ -196,3 +306,26 @@ class TestCheckTool:
         err = capsys.readouterr().err
         assert "parse" in err
         assert "total" in err
+        assert "dma-discipline" in err  # the analysis timing table
+
+    def test_trace_export(self, source_file, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "check.trace.json"
+        status = check_tool.main(
+            [source_file(CLEAN), "--trace", str(trace)]
+        )
+        assert status == 0
+        log = json.loads(trace.read_text())
+        assert validate_chrome_trace(log) == []
+        names = {e.get("name") for e in log["traceEvents"]}
+        assert any(str(n).startswith("dma-discipline") for n in names)
+
+    def test_corpus_game_with_fail_on_error(self, capsys):
+        status = check_tool.main(["--corpus", "game", "--fail-on", "error"])
+        assert status == 0  # only warnings on the game substrate
+        assert "game:" in capsys.readouterr().out
+
+    def test_no_sources_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            check_tool.main([])
