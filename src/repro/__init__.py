@@ -30,6 +30,13 @@ from repro.errors import (
 )
 from repro.machine import CELL_LIKE, DSP_WORD, SMP_UNIFORM, Machine, MachineConfig
 from repro.compiler.driver import CompileOptions, compile_program
+from repro.sched import (
+    POLICY_NAMES,
+    JobGraph,
+    SchedOptions,
+    SchedStats,
+    run_graph,
+)
 from repro.vm.interpreter import RunOptions, RunResult, run_program
 
 __all__ = [
@@ -39,17 +46,22 @@ __all__ = [
     "DSP_WORD",
     "Diagnostic",
     "DmaRaceError",
+    "JobGraph",
     "Machine",
     "MachineConfig",
     "MachineError",
     "MissingDuplicateError",
+    "POLICY_NAMES",
     "ReproError",
     "RunOptions",
     "RunResult",
     "RuntimeTrap",
     "SMP_UNIFORM",
+    "SchedOptions",
+    "SchedStats",
     "TypeCheckError",
     "__version__",
     "compile_program",
+    "run_graph",
     "run_program",
 ]

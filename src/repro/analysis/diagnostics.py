@@ -85,6 +85,11 @@ CODES: dict[str, CodeInfo] = {
         "a virtual method reachable from an offload block is missing "
         "from its domain(...) annotation",
     ),
+    "W-offload-unjoined": CodeInfo(
+        SEV_WARNING,
+        "an offload handle is never joined, so its completion is "
+        "unsynchronized with the host",
+    ),
 }
 
 

@@ -1,0 +1,114 @@
+"""Static offload-handle discipline check (``W-offload-unjoined``).
+
+A launched offload whose handle is never joined finishes at an
+unsynchronized time: nothing orders its memory effects against later
+host code.  The runtime audits this precisely at run end
+(:meth:`repro.vm.interpreter.Interpreter.audit_handles`); this module is
+the matching *static* check, so ``repro.tools.check`` flags the pattern
+without executing the program.
+
+The check is per-function and flow-insensitive in the usual lattice
+sense but walks the instruction list in order, tracking which registers
+alias each launch's handle:
+
+* ``Move`` propagates handle aliases; any other write to a register
+  kills the aliases it held.
+* An ``OffloadJoin`` of any alias marks the launch joined.
+* A handle that *escapes* — passed to a call or intrinsic, stored to
+  memory, or returned — is conservatively treated as joined elsewhere
+  (no warning: we cannot see the rest of its life).
+
+Statement-form ``__offload {...};`` blocks are auto-joined by the
+lowerer, so this analysis only fires on expression-form launches whose
+handle is provably dropped on the floor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Finding
+from repro.ir.instructions import (
+    Call,
+    DomainCall,
+    ICall,
+    Intrinsic,
+    Move,
+    OffloadJoin,
+    OffloadLaunch,
+    Ret,
+    Store,
+)
+from repro.ir.module import IRFunction, IRProgram
+
+_ESCAPE_CALLS = (Call, ICall, DomainCall, Intrinsic)
+
+
+def check_function(function: IRFunction, file: str = "<input>") -> list[Finding]:
+    """Warn for each launch in ``function`` that is neither joined nor
+    escaping."""
+    launches: list[tuple[int, OffloadLaunch]] = [
+        (index, instr)
+        for index, instr in enumerate(function.code)
+        if isinstance(instr, OffloadLaunch)
+    ]
+    if not launches:
+        return []
+
+    #: register -> set of launch instruction indices it may alias
+    aliases: dict[int, set[int]] = {}
+    joined: set[int] = set()
+    escaped: set[int] = set()
+
+    def mark(regs, into: set[int]) -> None:
+        for reg in regs:
+            into.update(aliases.get(reg, ()))
+
+    for index, instr in enumerate(function.code):
+        if isinstance(instr, OffloadLaunch):
+            aliases[instr.dst] = {index}
+            continue
+        if isinstance(instr, OffloadJoin):
+            mark((instr.handle,), joined)
+            continue
+        if isinstance(instr, Move):
+            aliases[instr.dst] = set(aliases.get(instr.src, ()))
+            continue
+        if isinstance(instr, _ESCAPE_CALLS):
+            mark(instr.args, escaped)
+        elif isinstance(instr, Store):
+            mark((instr.src,), escaped)
+        elif isinstance(instr, Ret):
+            if instr.src is not None:
+                mark((instr.src,), escaped)
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, int):
+            aliases.pop(dst, None)
+
+    findings = []
+    for index, instr in launches:
+        if index in joined or index in escaped:
+            continue
+        findings.append(
+            Finding(
+                code="W-offload-unjoined",
+                message=(
+                    f"offload #{instr.offload_id} handle (r{instr.dst}) "
+                    f"is never joined; its completion is unsynchronized "
+                    f"with the host"
+                ),
+                file=file,
+                function=function.name,
+                instr_index=index,
+                analysis="offload-handles",
+            )
+        )
+    return findings
+
+
+def check_program(program: IRProgram, file: str = "<input>") -> list[Finding]:
+    """Run the handle check over every host-side function."""
+    findings: list[Finding] = []
+    for function in sorted(
+        program.host_functions(), key=lambda f: f.name
+    ):
+        findings.extend(check_function(function, file=file))
+    return findings

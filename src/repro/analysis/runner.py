@@ -15,9 +15,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.analysis import dmacheck, footprint, traffic
+from repro.analysis import dmacheck, footprint, offloads, traffic
 from repro.analysis.annotations import report_for_program
 from repro.analysis.diagnostics import Finding, sort_findings
+from repro.ir.instructions import OffloadLaunch
 from repro.ir.module import IRProgram
 from repro.machine.config import MachineConfig
 from repro.obs.trace import EV_ANALYSIS, NULL_RECORDER
@@ -119,6 +120,18 @@ def run_analyses(
                 lambda m=meta: footprint.check_offload(
                     program, m, config, file=file
                 ),
+            )
+        )
+
+    # Offload-handle discipline, per host function containing launches.
+    for function in sorted(program.host_functions(), key=lambda f: f.name):
+        if not any(isinstance(i, OffloadLaunch) for i in function.code):
+            continue
+        findings.extend(
+            meter.run(
+                "offload-handles",
+                function.name,
+                lambda fn=function: offloads.check_function(fn, file=file),
             )
         )
 

@@ -45,6 +45,10 @@ from repro.obs.trace import (
     EV_OFFLOAD_JOIN,
     EV_OFFLOAD_LAUNCH,
     EV_PASS,
+    EV_SCHED_DISPATCH,
+    EV_SCHED_STALL,
+    EV_SCHED_SUBMIT,
+    EV_SCHED_UPLOAD,
     EVENT_SCHEMAS,
     Event,
     TraceRecorder,
@@ -62,6 +66,8 @@ _SPAN_END_INDEX = {
     EV_DISPATCH_MISS: 2,
     EV_CODE_UPLOAD: 2,
     EV_DMA_WAIT: 1,
+    EV_SCHED_STALL: 1,
+    EV_SCHED_UPLOAD: 2,
 }
 
 
@@ -83,6 +89,14 @@ def _name_for(kind: str, args: tuple) -> str:
         return f"offload{args[0]} {args[1]}"
     if kind == EV_CODE_UPLOAD:
         return f"upload {args[0]}"
+    if kind == EV_SCHED_SUBMIT:
+        return f"submit offload{args[1]}"
+    if kind == EV_SCHED_DISPATCH:
+        return f"dispatch job{args[0]} -> acc{args[1]}"
+    if kind == EV_SCHED_STALL:
+        return f"stall acc{args[0]}"
+    if kind == EV_SCHED_UPLOAD:
+        return f"upload offload{args[0]}"
     if kind == EV_PASS:
         return f"pass {args[0]}"
     if kind == EV_ANALYSIS:

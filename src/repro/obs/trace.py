@@ -77,6 +77,21 @@ EV_OFFLOAD_END = "offload.end"
 EV_OFFLOAD_LAUNCH = "offload.launch"
 EV_OFFLOAD_JOIN = "offload.join"
 
+#: Scheduler lane (explicit scheduling mode only; the ``sched`` track).
+#: Host-side submission of one job to the scheduler.
+#: args: (job, offload_id, policy)
+EV_SCHED_SUBMIT = "sched.submit"
+#: The scheduler's placement decision for one job.
+#: args: (job, accel_index, queued)
+EV_SCHED_DISPATCH = "sched.dispatch"
+#: Host blocked by admission control on a full ready queue.
+#: args: (accel_index, resume_cycle)
+EV_SCHED_STALL = "sched.stall"
+#: Cold code-image upload before a block's first run on an accelerator
+#: (emitted on the accelerator's track).
+#: args: (offload_id, code_bytes, end_cycle)
+EV_SCHED_UPLOAD = "sched.upload"
+
 #: One compile pass (wall-clock!).  args: (pass_name, duration_us, ran)
 EV_PASS = "pass.span"
 
@@ -108,6 +123,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     EV_OFFLOAD_END: ("offload_id", "entry"),
     EV_OFFLOAD_LAUNCH: ("offload_id", "accel_index", "handle"),
     EV_OFFLOAD_JOIN: ("handle", "finish_cycle"),
+    EV_SCHED_SUBMIT: ("job", "offload_id", "policy"),
+    EV_SCHED_DISPATCH: ("job", "accel_index", "queued"),
+    EV_SCHED_STALL: ("accel_index", "resume_cycle"),
+    EV_SCHED_UPLOAD: ("offload_id", "code_bytes", "end_cycle"),
     EV_PASS: ("pass_name", "duration_us", "ran"),
     EV_ANALYSIS: ("analysis", "function", "duration_us"),
 }

@@ -1,0 +1,56 @@
+"""repro.sched — the job-graph offload scheduler.
+
+Every offload launch in both VM engines routes through
+:class:`OffloadScheduler`.  Without :class:`SchedOptions` the scheduler
+runs in *compat* mode and reproduces the legacy greedy placement
+cycle-for-cycle; with them it adds pluggable placement policies,
+bounded per-accelerator ready queues with host backpressure, cold
+code-upload modelling and full utilization accounting.
+
+See ``docs/scheduler.md`` for the model and
+:mod:`repro.sched.graph` for the explicit job-graph API.
+"""
+
+from repro.sched.graph import (
+    GraphRunResult,
+    Job,
+    JobGraph,
+    JobRecord,
+    run_graph,
+)
+from repro.sched.policy import (
+    POLICY_NAMES,
+    CriticalPathPolicy,
+    GreedyPolicy,
+    LeastLoadedPolicy,
+    LocalityPolicy,
+    PlacementView,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.sched.scheduler import (
+    AccelStats,
+    OffloadScheduler,
+    SchedOptions,
+    SchedStats,
+)
+
+__all__ = [
+    "AccelStats",
+    "CriticalPathPolicy",
+    "GraphRunResult",
+    "GreedyPolicy",
+    "Job",
+    "JobGraph",
+    "JobRecord",
+    "LeastLoadedPolicy",
+    "LocalityPolicy",
+    "OffloadScheduler",
+    "PlacementView",
+    "POLICY_NAMES",
+    "SchedOptions",
+    "SchedStats",
+    "SchedulingPolicy",
+    "make_policy",
+    "run_graph",
+]

@@ -1,0 +1,317 @@
+"""The job graph: declared offload/host work with dependencies.
+
+A :class:`JobGraph` declares a frame's worth of work up front — offload
+blocks and host passes, with dependencies, priorities and optional
+accelerator affinity — and :func:`run_graph` executes it on a machine
+in deterministic simulated time, routing every offload node through the
+same :class:`repro.sched.scheduler.OffloadScheduler` that IR-level
+``OffloadLaunch`` instructions use.  Existing programs need no changes:
+their launches become single-node jobs transparently.
+
+Execution model (one legal interleaving of the real concurrency, like
+the VM's eager offload execution):
+
+* The host is the dispatcher.  Ready jobs — all dependencies finished —
+  are processed one at a time in policy order
+  (:meth:`repro.sched.policy.SchedulingPolicy.order_key` refines the
+  priority order; ``critical-path`` runs the longest estimated
+  downstream chain first).
+* An *offload* job is submitted to the scheduler at
+  ``max(host now, ready time)``: placement, admission control
+  (backpressure on bounded queues), upload modelling and clock algebra
+  all behave exactly as for an IR-level launch.
+* A *host* job runs on the host timeline at ``max(host now, ready
+  time)``.
+* The first job to depend on an offload job joins its handle (charging
+  ``thread_join``, emitting ``offload.join``); any still-unjoined
+  handles are joined at graph end, so a graph run never leaks handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.ir.module import IRProgram
+from repro.machine.machine import Machine
+from repro.sched.scheduler import ESTIMATE_CYCLES_PER_INSTR
+
+if TYPE_CHECKING:  # interpreter imports repro.sched; break the cycle
+    from repro.vm.interpreter import RunOptions, RunResult
+
+KIND_OFFLOAD = "offload"
+KIND_HOST = "host"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One node of a job graph.
+
+    ``target`` is an offload id (``kind == "offload"``) or an IR
+    function name (``kind == "host"``).  ``args`` are concrete argument
+    values — typically global addresses from ``program.globals``.
+    """
+
+    name: str
+    kind: str
+    target: object
+    args: tuple[int, ...] = ()
+    deps: tuple[str, ...] = ()
+    priority: int = 0
+    affinity: Optional[int] = None
+    seq: int = 0
+
+
+@dataclass
+class JobRecord:
+    """Where and when one job ran."""
+
+    name: str
+    kind: str
+    accel_index: int  # -1 for host jobs
+    start: int
+    finish: int
+
+
+@dataclass
+class GraphRunResult:
+    """Outcome of one :func:`run_graph` execution."""
+
+    records: list[JobRecord] = field(default_factory=list)
+    result: Optional[RunResult] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles if self.result else 0
+
+    def record(self, name: str) -> JobRecord:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no job named {name!r} in this run")
+
+
+class JobGraph:
+    """A DAG of offload and host jobs.
+
+    Dependencies must name already-added jobs, which guarantees the
+    graph is acyclic by construction.  ``add_offload`` / ``add_host``
+    return the job's name so graphs chain naturally::
+
+        g = JobGraph()
+        seed = g.add_host("seed", "seed")
+        ai = g.add_offload("ai", offload_id=0, args=(world,), after=(seed,))
+    """
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        """All jobs, in insertion order."""
+        return list(self._jobs.values())
+
+    def job(self, name: str) -> Job:
+        return self._jobs[name]
+
+    def _add(self, job: Job) -> str:
+        if job.name in self._jobs:
+            raise ValueError(f"duplicate job name {job.name!r}")
+        for dep in job.deps:
+            if dep not in self._jobs:
+                raise ValueError(
+                    f"job {job.name!r} depends on unknown job {dep!r} "
+                    f"(dependencies must be added first)"
+                )
+        self._jobs[job.name] = job
+        return job.name
+
+    def add_offload(
+        self,
+        name: str,
+        offload_id: int,
+        args: Sequence[int] = (),
+        after: Sequence[str] = (),
+        priority: int = 0,
+        affinity: Optional[int] = None,
+    ) -> str:
+        """Declare one offload-block job; returns its name."""
+        return self._add(
+            Job(
+                name=name,
+                kind=KIND_OFFLOAD,
+                target=int(offload_id),
+                args=tuple(args),
+                deps=tuple(after),
+                priority=priority,
+                affinity=affinity,
+                seq=len(self._jobs),
+            )
+        )
+
+    def add_host(
+        self,
+        name: str,
+        function: str,
+        args: Sequence[int] = (),
+        after: Sequence[str] = (),
+        priority: int = 0,
+    ) -> str:
+        """Declare one host-side job calling an IR function; returns
+        its name."""
+        return self._add(
+            Job(
+                name=name,
+                kind=KIND_HOST,
+                target=str(function),
+                args=tuple(args),
+                deps=tuple(after),
+                priority=priority,
+                seq=len(self._jobs),
+            )
+        )
+
+    def validate(self, program: IRProgram) -> None:
+        """Check every job's target against the program."""
+        for job in self._jobs.values():
+            if job.kind == KIND_OFFLOAD:
+                if job.target not in program.offload_meta:
+                    raise ValueError(
+                        f"job {job.name!r} names unknown offload "
+                        f"#{job.target}"
+                    )
+            elif job.target not in program.functions:
+                raise ValueError(
+                    f"job {job.name!r} names unknown function "
+                    f"{job.target!r}"
+                )
+
+
+def _downstream_estimates(graph: JobGraph, estimates: dict[str, int]) -> dict[str, int]:
+    """Longest estimated path from each job to a sink (inclusive)."""
+    dependants: dict[str, list[str]] = {name: [] for name in estimates}
+    for job in graph.jobs():
+        for dep in job.deps:
+            dependants[dep].append(job.name)
+    downstream: dict[str, int] = {}
+
+    # Jobs are stored in insertion order and deps always point backwards,
+    # so a reverse sweep sees every dependant before its dependency.
+    for job in reversed(graph.jobs()):
+        below = max(
+            (downstream[d] for d in dependants[job.name]), default=0
+        )
+        downstream[job.name] = estimates[job.name] + below
+    return downstream
+
+
+def run_graph(
+    program: IRProgram,
+    machine: Machine,
+    graph: JobGraph,
+    options: Optional[RunOptions] = None,
+) -> GraphRunResult:
+    """Execute a job graph on a machine; returns per-job records plus
+    the underlying :class:`RunResult` (cycles, output, scheduler stats).
+
+    ``options.sched`` selects the policy/queue configuration exactly as
+    for :func:`repro.vm.interpreter.run_program`; without it the
+    scheduler runs in compat (greedy) mode.
+    """
+    from repro.vm.interpreter import make_interpreter
+
+    graph.validate(program)
+    engine = make_interpreter(program, machine, options)
+    engine.load_image()
+    host_ctx = engine.make_host_context()
+    sched = engine._sched
+    policy = sched.policy
+
+    estimates: dict[str, int] = {}
+    for job in graph.jobs():
+        if job.kind == KIND_OFFLOAD:
+            estimates[job.name] = sched.estimate_cycles(job.target)
+        else:
+            function = program.function(job.target)
+            estimates[job.name] = ESTIMATE_CYCLES_PER_INSTR * len(
+                function.code
+            )
+    downstream = _downstream_estimates(graph, estimates)
+
+    out = GraphRunResult()
+    finished: dict[str, int] = {}
+    handles: dict[str, int] = {}
+    joined: set[str] = set()
+    remaining = graph.jobs()
+
+    def join_offload_dep(name: str) -> None:
+        if name in handles and name not in joined:
+            engine._join_offload(handles[name], host_ctx)
+            joined.add(name)
+
+    while remaining:
+        ready = [
+            job
+            for job in remaining
+            if all(dep in finished for dep in job.deps)
+        ]
+        assert ready, "job graph validated acyclic but nothing is ready"
+        ready.sort(
+            key=lambda job: (
+                -job.priority,
+                *policy.order_key(downstream[job.name], job.seq),
+            )
+        )
+        job = ready[0]
+        remaining = [j for j in remaining if j.name != job.name]
+        # Joining an offload dependency is how the host observes its
+        # completion (and what marks the handle joined).
+        for dep in job.deps:
+            join_offload_dep(dep)
+        ready_time = max(
+            (finished[dep] for dep in job.deps), default=0
+        )
+        host_ctx.now = max(host_ctx.now, ready_time)
+        if job.kind == KIND_OFFLOAD:
+            start_host = host_ctx.now
+            handle = engine._run_offload(
+                job.target,
+                program.offload_meta[job.target].entry,
+                list(job.args),
+                host_ctx,
+                affinity=job.affinity,
+            )
+            handles[job.name] = handle
+            record = engine.handles[handle]
+            finished[job.name] = record.finish_time
+            out.records.append(
+                JobRecord(
+                    name=job.name,
+                    kind=job.kind,
+                    accel_index=record.accel_index,
+                    start=start_host,
+                    finish=record.finish_time,
+                )
+            )
+        else:
+            start = host_ctx.now
+            function = program.function(job.target)
+            engine._exec_function(function, list(job.args), host_ctx)
+            finished[job.name] = host_ctx.now
+            out.records.append(
+                JobRecord(
+                    name=job.name,
+                    kind=job.kind,
+                    accel_index=-1,
+                    start=start,
+                    finish=host_ctx.now,
+                )
+            )
+
+    # Graph end: join anything no job depended on, so no handle leaks.
+    for name in handles:
+        join_offload_dep(name)
+    out.result = engine.finalize(0, host_ctx)
+    return out

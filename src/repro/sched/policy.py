@@ -1,0 +1,175 @@
+"""Pluggable accelerator-placement policies.
+
+A :class:`SchedulingPolicy` answers two questions for the scheduler:
+
+* *placement* — given one ready job, which accelerator should run it
+  (:meth:`SchedulingPolicy.choose`)?  The policy sees a
+  :class:`PlacementView`: per-accelerator availability and accumulated
+  load, whether the job's code image is already resident on each core,
+  what an upload would cost, and an estimated body duration.
+* *ordering* — given several ready jobs of a job graph, which runs
+  first (:meth:`SchedulingPolicy.order_key`)?  Higher-priority jobs
+  always go first; policies refine the tie-break.
+
+Every policy is deterministic: identical inputs produce identical
+decisions, which is what keeps the two VM engines cycle- and
+trace-identical under every policy (``tests/test_vm_equivalence.py``).
+
+The four shipped policies:
+
+``greedy``
+    Earliest-available accelerator, lowest index breaking ties — the
+    VM's historical behaviour and the compat default.
+``least-loaded``
+    Fewest accumulated busy cycles; balances total work rather than
+    instantaneous availability.
+``locality``
+    Prefers an accelerator that already holds the job's uploaded code
+    image (and therefore its warmed state); falls back to greedy when
+    no accelerator does.
+``critical-path``
+    Minimises the *estimated completion time* — availability plus
+    spawn, upload (if the image is cold there) and the estimated body
+    duration — and orders graph-ready jobs longest-downstream-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+#: The policy registry order is also the canonical reporting order.
+POLICY_NAMES: tuple[str, ...] = (
+    "greedy",
+    "least-loaded",
+    "locality",
+    "critical-path",
+)
+
+
+@dataclass(frozen=True)
+class PlacementView:
+    """Everything a policy may consult when placing one job.
+
+    Attributes:
+        now: The host's current simulated cycle.
+        available: Per-accelerator cycle at which the core frees up.
+        busy: Per-accelerator accumulated busy cycles so far.
+        resident: ``resident(i)`` — is this job's code image already
+            uploaded on accelerator ``i``?
+        upload_cycles: ``upload_cycles(i)`` — cycles an upload would
+            cost on accelerator ``i`` (0 when resident or not modelled).
+        estimate: Estimated body duration of the job, in cycles.
+        spawn_cost: The target's ``thread_spawn`` cost.
+    """
+
+    now: int
+    available: Sequence[int]
+    busy: Sequence[int]
+    resident: Callable[[int], bool]
+    upload_cycles: Callable[[int], int]
+    estimate: int
+    spawn_cost: int
+
+
+class SchedulingPolicy(Protocol):
+    """The protocol every placement policy implements."""
+
+    name: str
+
+    def choose(self, view: PlacementView) -> int:
+        """Index of the accelerator that should run the job."""
+        ...
+
+    def order_key(self, downstream: int, seq: int) -> tuple:
+        """Sort key for one graph-ready job (ascending; smaller runs
+        first).  ``downstream`` is the job's longest estimated path to a
+        graph sink; ``seq`` its insertion order."""
+        ...
+
+
+class _OrderBySubmission:
+    """Default ready-job ordering: stable insertion order."""
+
+    def order_key(self, downstream: int, seq: int) -> tuple:
+        return (seq,)
+
+
+class GreedyPolicy(_OrderBySubmission):
+    """Earliest-available accelerator (the historical behaviour)."""
+
+    name = "greedy"
+
+    def choose(self, view: PlacementView) -> int:
+        return min(
+            range(len(view.available)),
+            key=lambda i: (view.available[i], i),
+        )
+
+
+class LeastLoadedPolicy(_OrderBySubmission):
+    """Fewest accumulated busy cycles, availability breaking ties."""
+
+    name = "least-loaded"
+
+    def choose(self, view: PlacementView) -> int:
+        return min(
+            range(len(view.available)),
+            key=lambda i: (view.busy[i], view.available[i], i),
+        )
+
+
+class LocalityPolicy(_OrderBySubmission):
+    """Prefer an accelerator already holding the job's code image."""
+
+    name = "locality"
+
+    def choose(self, view: PlacementView) -> int:
+        warm = [i for i in range(len(view.available)) if view.resident(i)]
+        if warm:
+            return min(warm, key=lambda i: (view.available[i], i))
+        return min(
+            range(len(view.available)),
+            key=lambda i: (view.available[i], i),
+        )
+
+
+class CriticalPathPolicy:
+    """Minimise estimated completion; longest-downstream-first ordering."""
+
+    name = "critical-path"
+
+    def choose(self, view: PlacementView) -> int:
+        def completion(i: int) -> int:
+            start = max(view.now, view.available[i]) + view.spawn_cost
+            return start + view.upload_cycles(i) + view.estimate
+
+        return min(
+            range(len(view.available)),
+            key=lambda i: (completion(i), i),
+        )
+
+    def order_key(self, downstream: int, seq: int) -> tuple:
+        return (-downstream, seq)
+
+
+_POLICY_CLASSES = {
+    "greedy": GreedyPolicy,
+    "least-loaded": LeastLoadedPolicy,
+    "locality": LocalityPolicy,
+    "critical-path": CriticalPathPolicy,
+}
+
+assert tuple(_POLICY_CLASSES) == POLICY_NAMES
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; choose one of "
+            f"{', '.join(POLICY_NAMES)}"
+        ) from None
+    return cls()

@@ -9,10 +9,13 @@ Usage::
 
     PYTHONPATH=src python -m repro.tools.bench [--out BENCH_vm.json]
         [--repeats 3] [--quick] [--trace FILE]
-        [--trace-format chrome|timeline|profile]
+        [--trace-format chrome|timeline|profile] [--policy NAME]
 
 The headline number is the Figure 2 game-frame workload: the acceptance
-target for the compiled engine is a >= 3x speedup there.
+target for the compiled engine is a >= 3x speedup there.  The report
+also carries a ``scheduler`` section: simulated game-frame cycles under
+every scheduling policy, with the locality-vs-greedy ratio the CI sched
+job gates on.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.game.sources import (
     move_loop_source,
     word_struct_source,
 )
+from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.interpreter import RunOptions, run_program
 
 CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
@@ -108,25 +112,25 @@ def workloads(quick: bool) -> list[dict]:
     ]
 
 
-def _time_run(program, config, engine: str) -> tuple[float, object]:
+def _time_run(program, config, engine: str, sched=None) -> tuple[float, object]:
     """One timed execution on a fresh machine (machine build excluded)."""
     machine = Machine(config)
-    options = RunOptions(engine=engine)
+    options = RunOptions(engine=engine, sched=sched)
     start = time.perf_counter()
     result = run_program(program, machine, options)
     elapsed = time.perf_counter() - start
     return elapsed, result
 
 
-def bench_workload(spec: dict, repeats: int) -> dict:
+def bench_workload(spec: dict, repeats: int, sched=None) -> dict:
     config = CONFIGS[spec["config"]]
     program = compile_program(spec["source"], config, spec["options"])
 
     # Warm-up pass doubles as the equivalence check; the compiled
     # engine's translation cost is paid here, as in real use, so timed
     # reps measure steady-state dispatch.
-    _, ref_result = _time_run(program, config, "reference")
-    _, compiled_result = _time_run(program, config, "compiled")
+    _, ref_result = _time_run(program, config, "reference", sched)
+    _, compiled_result = _time_run(program, config, "compiled", sched)
     identical = (
         ref_result.output == compiled_result.output
         and ref_result.cycles == compiled_result.cycles
@@ -137,7 +141,7 @@ def bench_workload(spec: dict, repeats: int) -> dict:
     times = {"reference": [], "compiled": []}
     for _ in range(repeats):
         for engine in ("reference", "compiled"):
-            elapsed, _ = _time_run(program, config, engine)
+            elapsed, _ = _time_run(program, config, engine, sched)
             times[engine].append(elapsed)
 
     ref_s = min(times["reference"])
@@ -155,6 +159,40 @@ def bench_workload(spec: dict, repeats: int) -> dict:
         # report carries the paper's per-experiment quantities — cache
         # hit rates, DMA bytes, dispatch probes — alongside the timings.
         "perf_counters": ref_result.machine.perf.as_dict(),
+    }
+
+
+def bench_scheduler(quick: bool) -> dict:
+    """Per-policy simulated cycles on the Figure 2 game-frame workload.
+
+    Runs the headline frame loop under every scheduling policy (with
+    cold code-upload modelling on) and reports simulated cycles,
+    uploads and stalls per policy, plus the locality-vs-greedy ratio —
+    the quantity the CI sched job gates on (< 1.0 means the warm-core
+    policy beat rotation).
+    """
+    scale = 1 if quick else 2
+    source = figure2_source(
+        entity_count=48 * scale, pair_count=32 * scale, frames=8
+    )
+    config = CELL_LIKE
+    program = compile_program(source, config, CompileOptions())
+    policies = {}
+    for policy in POLICY_NAMES:
+        _, result = _time_run(
+            program, config, "compiled", SchedOptions(policy=policy)
+        )
+        policies[policy] = {
+            "simulated_cycles": result.cycles,
+            **result.sched.as_dict(result.cycles),
+        }
+    greedy = policies["greedy"]["simulated_cycles"]
+    locality = policies["locality"]["simulated_cycles"]
+    return {
+        "workload": "game-frame",
+        "frames": 8,
+        "policies": policies,
+        "locality_vs_greedy": round(locality / greedy, 6),
     }
 
 
@@ -247,12 +285,20 @@ def main(argv: list[str] | None = None) -> int:
         default="chrome",
         help="export format for --trace (default: chrome)",
     )
+    parser.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default=None,
+        help="run the whole workload matrix under this scheduling "
+             "policy (default: compat mode, no explicit scheduling)",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else max(1, args.repeats)
+    matrix_sched = (
+        SchedOptions(policy=args.policy) if args.policy is not None else None
+    )
 
     results = []
     for spec in workloads(args.quick):
-        entry = bench_workload(spec, repeats)
+        entry = bench_workload(spec, repeats, matrix_sched)
         results.append(entry)
         status = "ok" if entry["engines_identical"] else "MISMATCH"
         print(
@@ -278,6 +324,19 @@ def main(argv: list[str] | None = None) -> int:
         run_program(program, machine, RunOptions(engine="compiled"))
         write_trace(recorder, args.trace, args.trace_format)
 
+    scheduler = bench_scheduler(args.quick)
+    for policy in POLICY_NAMES:
+        entry = scheduler["policies"][policy]
+        print(
+            f"{'sched/' + policy:24s} {entry['simulated_cycles']:>12} "
+            f"simulated cycles  uploads {entry['uploads']:3d}  "
+            f"stalls {entry['stalls']:3d}"
+        )
+    print(
+        f"{'sched locality/greedy':24s} "
+        f"{scheduler['locality_vs_greedy']:.6f}"
+    )
+
     compile_cache = bench_compile_cache(repeats)
     cache_status = "ok" if compile_cache["artifact_identical"] else "MISMATCH"
     print(
@@ -298,11 +357,14 @@ def main(argv: list[str] | None = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "repeats": repeats,
         "quick": args.quick,
+        "policy": args.policy or "compat",
         "workloads": results,
+        "scheduler": scheduler,
         "compile_cache": compile_cache,
         "summary": {
             "geomean_speedup": round(geomean, 3),
             "game_frame_speedup": headline["speedup"],
+            "locality_vs_greedy": scheduler["locality_vs_greedy"],
             "compile_cache_speedup": compile_cache["compile_speedup"],
             "all_identical": all(e["engines_identical"] for e in results)
             and compile_cache["artifact_identical"],

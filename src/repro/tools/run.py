@@ -8,6 +8,8 @@ Usage::
         [--dump-after PASS] [--time-passes] [--cache-dir DIR]
         [--emit-artifact PATH] [--trace FILE]
         [--trace-format chrome|timeline|profile]
+        [--policy greedy|least-loaded|locality|critical-path]
+        [--queue-depth N]
 
 A ``.json`` input is loaded as a serialized program artifact (see
 ``--emit-artifact`` and :mod:`repro.ir.serialize`) instead of being
@@ -37,6 +39,7 @@ from repro.obs import (
     offload_profile,
 )
 from repro.runtime.cachekinds import CACHE_KIND_CHOICES
+from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.interpreter import RunOptions, run_program
 
 TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
@@ -96,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=["compiled", "reference"], default=None,
         help="execution engine (default: the compiled closure engine)",
+    )
+    parser.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default=None,
+        help="offload scheduling policy (enables explicit scheduling: "
+             "upload modelling, sched.* trace events, utilization summary)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=0, metavar="N",
+        help="bound each accelerator's ready queue at N jobs (0 = "
+             "unbounded); a full queue stalls the host (backpressure). "
+             "Implies --policy greedy when no policy is given",
     )
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -216,9 +230,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.dump_ir:
         print(format_program(program))
         return 0
+    sched = None
+    if args.policy is not None or args.queue_depth:
+        sched = SchedOptions(
+            policy=args.policy or "greedy",
+            queue_depth=args.queue_depth,
+        )
     run_options = RunOptions(
         racecheck="record" if args.record_races else "raise",
         engine=args.engine,
+        sched=sched,
     )
     machine = Machine(config)
     recorder = None
@@ -239,6 +260,22 @@ def main(argv: list[str] | None = None) -> int:
     if recorder is not None:
         write_trace(recorder, args.trace, args.trace_format)
     print(f"-- {result.cycles} simulated cycles on {config.name}", file=sys.stderr)
+    if sched is not None and result.sched is not None:
+        st = result.sched
+        util = ", ".join(
+            f"acc{i}={u:.0%}"
+            for i, u in enumerate(st.utilization(result.cycles))
+        )
+        print(
+            f"-- sched: policy={st.policy} jobs={st.jobs} "
+            f"uploads={st.uploads} stalls={st.stalls} "
+            f"(+{st.stall_cycles} cycles) "
+            f"queue-high-water={st.queue_high_water}",
+            file=sys.stderr,
+        )
+        print(f"-- sched utilization: {util}", file=sys.stderr)
+    for finding in result.diagnostics:
+        print(finding.render(), file=sys.stderr)
     if result.races:
         print(f"-- {len(result.races)} DMA race(s) recorded:", file=sys.stderr)
         for race in result.races:

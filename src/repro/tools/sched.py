@@ -1,0 +1,237 @@
+"""Scheduling-policy explorer: run a workload under each policy.
+
+Usage::
+
+    python -m repro.tools.sched [program.om | --corpus figure2|game-demo]
+        [--target cell|smp|dsp] [--policy NAME] [--queue-depth N]
+        [--admission stall|trap] [--engine compiled|reference]
+        [--frames N] [--trace FILE] [--trace-format chrome|timeline]
+        [--json] [--require locality<greedy]
+
+Without ``--policy`` every policy runs and a comparison table is
+printed (simulated cycles, uploads, stalls, queue high-water,
+utilization).  With ``--policy`` only that policy runs and the full
+scheduler accounting is shown.
+
+``--require locality<greedy`` exits 4 unless the locality policy's
+simulated cycles are strictly below greedy's — the gate the CI sched
+job applies to the Figure 2 frame loop.
+
+Exit status: 0 on success, 1 on compile/usage errors, 2 on runtime
+traps, 4 on a failed ``--require`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.errors import CompileError, ReproError
+from repro.game.sources import figure2_source, game_demo_source
+from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.machine import Machine
+from repro.obs import TraceRecorder
+from repro.sched import POLICY_NAMES, SchedOptions
+from repro.vm.interpreter import RunOptions, run_program
+
+TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+CORPUS = {
+    "figure2": lambda frames: figure2_source(
+        entity_count=48, pair_count=32, frames=frames
+    ),
+    "game-demo": lambda frames: game_demo_source(
+        entity_count=16, pair_count=12, particles=8, frames=frames
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "source", nargs="?", default=None,
+        help="OffloadMini source file (or use --corpus)",
+    )
+    parser.add_argument(
+        "--corpus", choices=sorted(CORPUS), default=None,
+        help="use a built-in workload instead of a source file",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=8,
+        help="frame count for --corpus workloads (default: 8)",
+    )
+    parser.add_argument(
+        "--target", choices=sorted(TARGETS), default="cell",
+        help="machine configuration (default: cell)",
+    )
+    parser.add_argument(
+        "--policy", choices=list(POLICY_NAMES), default=None,
+        help="run one policy (default: compare all)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=0, metavar="N",
+        help="per-accelerator ready-queue bound (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--admission", choices=["stall", "trap"], default="stall",
+        help="full-queue behaviour (default: stall = host backpressure)",
+    )
+    parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default=None,
+        help="execution engine (default: the compiled closure engine)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export a trace of the last policy run to FILE "
+             "('-' for stdout); includes the sched lane",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["chrome", "timeline"],
+        default="chrome",
+        help="trace export format (default: chrome)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the comparison as canonical JSON instead of a table",
+    )
+    parser.add_argument(
+        "--require", default=None, metavar="A<B",
+        help="exit 4 unless policy A's cycles are strictly below "
+             "policy B's (e.g. 'locality<greedy')",
+    )
+    return parser
+
+
+def _load_source(args) -> str | None:
+    if args.corpus is not None:
+        return CORPUS[args.corpus](args.frames)
+    if args.source is None:
+        print(
+            "error: give a source file or --corpus figure2|game-demo",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def run_policy(
+    program, config, policy: str, args, recorder=None
+) -> dict:
+    """One policy run; returns its row of the comparison table."""
+    machine = Machine(config)
+    if recorder is not None:
+        machine.attach_trace(recorder)
+    sched = SchedOptions(
+        policy=policy,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+    )
+    result = run_program(
+        program, machine, RunOptions(engine=args.engine, sched=sched)
+    )
+    stats = result.sched
+    return {
+        "policy": policy,
+        "simulated_cycles": result.cycles,
+        **stats.as_dict(result.cycles),
+    }
+
+
+def format_table(rows: list[dict]) -> str:
+    header = (
+        f"{'policy':15s} {'cycles':>12} {'uploads':>8} {'stalls':>7} "
+        f"{'stall-cyc':>10} {'q-hwm':>6} {'busy%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    baseline = rows[0]["simulated_cycles"]
+    for row in rows:
+        busy = (
+            sum(row["utilization"]) / len(row["utilization"])
+            if row.get("utilization")
+            else 0.0
+        )
+        rel = row["simulated_cycles"] / baseline if baseline else 1.0
+        lines.append(
+            f"{row['policy']:15s} {row['simulated_cycles']:>12} "
+            f"{row['uploads']:>8} {row['stalls']:>7} "
+            f"{row['stall_cycles']:>10} {row['queue_high_water']:>6} "
+            f"{busy:>6.1%}  ({rel:.4f}x vs {rows[0]['policy']})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    source = _load_source(args)
+    if source is None:
+        return 1
+    config = TARGETS[args.target]
+    try:
+        program = compile_program(source, config, CompileOptions())
+    except CompileError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        return 1
+
+    policies = [args.policy] if args.policy else list(POLICY_NAMES)
+    rows = []
+    recorder = None
+    try:
+        for index, policy in enumerate(policies):
+            # Only the last policy run is traced (one file, one lane set).
+            if args.trace is not None and index == len(policies) - 1:
+                recorder = TraceRecorder()
+            rows.append(
+                run_policy(program, config, policy, args, recorder)
+            )
+    except ReproError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {"target": config.name, "policies": rows}
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    else:
+        print(format_table(rows))
+
+    if recorder is not None:
+        from repro.tools.run import write_trace
+
+        write_trace(recorder, args.trace, args.trace_format)
+
+    if args.require is not None:
+        left, _, right = args.require.partition("<")
+        cycles = {row["policy"]: row["simulated_cycles"] for row in rows}
+        if left not in cycles or right not in cycles:
+            print(
+                f"error: --require names policies not run "
+                f"({args.require!r}; ran {', '.join(cycles)})",
+                file=sys.stderr,
+            )
+            return 1
+        if not cycles[left] < cycles[right]:
+            print(
+                f"requirement failed: {left} ({cycles[left]} cycles) is "
+                f"not below {right} ({cycles[right]} cycles)",
+                file=sys.stderr,
+            )
+            return 4
+        print(
+            f"-- requirement holds: {left} {cycles[left]} < "
+            f"{right} {cycles[right]} cycles",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

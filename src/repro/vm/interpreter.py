@@ -18,6 +18,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis.diagnostics import Finding
 from repro.errors import MachineError, MissingDuplicateError, RuntimeTrap
 from repro.ir.instructions import (
     AccSpace,
@@ -45,6 +46,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import IRFunction, IRProgram
 from repro.machine.cores import AcceleratorCore
+from repro.machine.dma import NUM_TAGS
 from repro.machine.machine import Machine
 from repro.obs.trace import (
     EV_CODE_UPLOAD,
@@ -57,6 +59,7 @@ from repro.obs.trace import (
     EV_OFFLOAD_LAUNCH,
 )
 from repro.runtime.racecheck import DmaRaceChecker
+from repro.sched.scheduler import OffloadScheduler, SchedOptions, SchedStats
 from repro.vm.context import FrameStack, ThreadContext, build_strategy
 
 #: Default size of the host call stack carved out of main memory.
@@ -119,12 +122,19 @@ class RunOptions:
         engine: ``"compiled"`` (closure-compiled dispatch, the default)
             or ``"reference"`` (the legacy decode loop).  None picks
             :data:`DEFAULT_ENGINE`.
+        sched: Explicit scheduling configuration
+            (:class:`repro.sched.scheduler.SchedOptions`): placement
+            policy, bounded ready queues, upload modelling and the
+            ``sched.*`` trace lane.  ``None`` (the default) is compat
+            mode — greedy placement with cycle- and trace-identical
+            behaviour to the scheduler-less VM.
     """
 
     racecheck: Optional[str] = "raise"
     check_dma_discipline: bool = True
     max_instructions: int = 200_000_000
     engine: Optional[str] = None
+    sched: Optional[SchedOptions] = None
 
 
 @dataclass
@@ -147,6 +157,11 @@ class RunResult:
     host_cycles: int = 0
     machine: Optional[Machine] = None
     races: list = field(default_factory=list)
+    #: Scheduler utilization accounting (collected in every mode).
+    sched: Optional[SchedStats] = None
+    #: Runtime diagnostics, e.g. ``W-offload-unjoined`` for handles
+    #: that were never joined (:class:`repro.analysis.diagnostics.Finding`).
+    diagnostics: list = field(default_factory=list)
 
     @property
     def printed(self) -> list[object]:
@@ -181,7 +196,14 @@ class Interpreter:
         self.output: list[tuple[str, object]] = []
         self.handles: list[Handle] = []
         self._instructions = 0
-        self._accel_available = [0] * len(machine.accelerators)
+        #: Every offload launch routes through the scheduler; with
+        #: ``options.sched`` unset it reproduces the legacy greedy
+        #: behaviour exactly (no sched events, no upload costs).
+        self._sched = OffloadScheduler(
+            program, machine, self.options.sched, self._trace
+        )
+        #: Alias of the scheduler's per-accelerator availability list.
+        self._accel_available = self._sched.available
         #: (accelerator index, function name) pairs whose code has been
         #: uploaded on demand; persists across offload launches because
         #: a loaded code image stays resident on the core.
@@ -212,11 +234,20 @@ class Interpreter:
     def run(self, entry: Optional[str] = None) -> RunResult:
         """Load the image and execute ``entry`` (default: main)."""
         self.load_image()
+        host_ctx = self.make_host_context()
+        entry_name = entry or self.program.entry
+        value = self._exec_function(
+            self.program.function(entry_name), [], host_ctx
+        )
+        return self.finalize(value, host_ctx)
+
+    def make_host_context(self) -> ThreadContext:
+        """The host thread context (stack carved out of main memory)."""
         stack_base = (
             self.machine.heap.allocate(HOST_STACK_BYTES + STACK_COLOR_OFFSET)
             + STACK_COLOR_OFFSET
         )
-        host_ctx = ThreadContext(
+        return ThreadContext(
             core=self.machine.host,
             main_memory=self.machine.main_memory,
             stack=FrameStack(
@@ -224,10 +255,9 @@ class Interpreter:
             ),
             now=self.machine.host.clock.now,
         )
-        entry_name = entry or self.program.entry
-        value = self._exec_function(
-            self.program.function(entry_name), [], host_ctx
-        )
+
+    def finalize(self, value: object, host_ctx: ThreadContext) -> RunResult:
+        """Sync the host clock, audit handles and build the result."""
         self.machine.host.clock.sync_to(host_ctx.now)
         races = [r for checker in self._racecheckers for r in checker.races]
         return RunResult(
@@ -237,7 +267,37 @@ class Interpreter:
             host_cycles=self.machine.host.clock.now,
             machine=self.machine,
             races=races,
+            sched=self._sched.stats,
+            diagnostics=self.audit_handles(),
         )
+
+    def audit_handles(self) -> list[Finding]:
+        """``W-offload-unjoined`` findings for handles never joined.
+
+        Purely observational — never touches a clock or the trace — so
+        compat-mode runs stay cycle- and trace-identical.
+        """
+        findings = []
+        for index, handle in enumerate(self.handles):
+            if handle.joined:
+                continue
+            findings.append(
+                Finding(
+                    code="W-offload-unjoined",
+                    message=(
+                        f"offload handle {index} (offload "
+                        f"#{handle.offload_id} on accelerator "
+                        f"{handle.accel_index}) was never joined; its "
+                        f"completion is unsynchronized with the host"
+                    ),
+                    file="<run>",
+                    function=self.program.offload_meta[
+                        handle.offload_id
+                    ].entry,
+                    analysis="offload-audit",
+                )
+            )
+        return findings
 
     # --------------------------------------------------------- memory ops
 
@@ -682,7 +742,9 @@ class Interpreter:
             return self._exec_dma(name, args, ctx)
         if name == "dma_wait":
             dma = self._require_dma(ctx)
-            ctx.now = dma.wait(int(args[0]) & 31, ctx.now)  # type: ignore[arg-type]
+            tag = int(args[0])  # type: ignore[arg-type]
+            self._check_dma_tag(name, tag)
+            ctx.now = dma.wait(tag, ctx.now)
             return 0
         if name == "acc_bulk_get":
             dma = self._require_dma(ctx)
@@ -710,15 +772,30 @@ class Interpreter:
             )
         return core.dma
 
+    @staticmethod
+    def _check_dma_tag(name: str, tag: int) -> None:
+        """Out-of-range tags trap instead of silently aliasing.
+
+        The engines used to mask ``tag & 31``, so tag 33 aliased tag 1
+        and a ``dma_wait`` could observe the wrong transfer's
+        completion.
+        """
+        if not 0 <= tag < NUM_TAGS:
+            raise RuntimeTrap(
+                f"{name} with out-of-range DMA tag {tag} "
+                f"(valid tags are 0..{NUM_TAGS - 1})"
+            )
+
     def _exec_dma(self, name: str, args: list[object], ctx: ThreadContext) -> object:
         dma = self._require_dma(ctx)
         local, outer, size, tag = (int(a) for a in args)  # type: ignore[arg-type]
         if size <= 0:
             raise RuntimeTrap(f"{name} with non-positive size {size}")
+        self._check_dma_tag(name, tag)
         if name == "dma_get":
-            ctx.now = dma.get(tag & 31, local, outer, size, ctx.now)
+            ctx.now = dma.get(tag, local, outer, size, ctx.now)
         else:
-            ctx.now = dma.put(tag & 31, local, outer, size, ctx.now)
+            ctx.now = dma.put(tag, local, outer, size, ctx.now)
         return 0
 
     # ------------------------------------------------------------ offloads
@@ -726,18 +803,32 @@ class Interpreter:
     def _launch_offload(
         self, instr: OffloadLaunch, regs: list[object], ctx: ThreadContext
     ) -> int:
-        meta = self.program.offload_meta[instr.offload_id]
+        return self._run_offload(
+            instr.offload_id,
+            instr.entry,
+            [regs[a] for a in instr.args],
+            ctx,
+        )
+
+    def _run_offload(
+        self,
+        offload_id: int,
+        entry_name: str,
+        arg_values: list[object],
+        ctx: ThreadContext,
+        affinity: Optional[int] = None,
+    ) -> int:
+        """Schedule and eagerly execute one offload job; returns the
+        handle index.  IR launches and job-graph nodes share this path."""
+        meta = self.program.offload_meta[offload_id]
         if not self.machine.accelerators:
             raise RuntimeTrap("offload launch on a machine with no accelerators")
-        accel_index = min(
-            range(len(self.machine.accelerators)),
-            key=lambda i: (self._accel_available[i], i),
-        )
+        sched = self._sched
+        job = len(self.handles)
+        sched.submit(offload_id, job, ctx.now)
+        accel_index = sched.admit(offload_id, ctx, affinity)
         accelerator = self.machine.accelerators[accel_index]
-        start = (
-            max(ctx.now, self._accel_available[accel_index])
-            + accelerator.cost.thread_spawn
-        )
+        start, body_start = sched.begin(offload_id, accel_index, ctx.now)
         if accelerator.local_store is not None:
             strategy, stack_limit = build_strategy(accelerator, meta.cache_kind)
             stack = FrameStack(0, stack_limit, f"{accelerator.name} local-store")
@@ -754,26 +845,26 @@ class Interpreter:
             core=accelerator,
             main_memory=self.machine.main_memory,
             stack=stack,
-            now=start,
+            now=body_start,
             strategy=strategy,
-            offload_id=instr.offload_id,
+            offload_id=offload_id,
         )
-        entry = self.program.function(instr.entry)
+        entry = self.program.function(entry_name)
         trace = self._trace
         if trace.enabled:
             trace.emit(
-                start, accelerator.name, EV_OFFLOAD_BEGIN,
-                (instr.offload_id, instr.entry),
+                body_start, accelerator.name, EV_OFFLOAD_BEGIN,
+                (offload_id, entry_name),
             )
-        self._exec_function(entry, [regs[a] for a in instr.args], accel_ctx)
+        self._exec_function(entry, arg_values, accel_ctx)
         if strategy is not None:
             accel_ctx.now = strategy.flush(accel_ctx.now)
         finish = accel_ctx.now
         accelerator.clock.sync_to(finish)
-        self._accel_available[accel_index] = finish
+        sched.complete(offload_id, accel_index, start, body_start, finish)
         ctx.now += ctx.core.cost.call  # host-side issue cost
         handle = Handle(
-            offload_id=instr.offload_id,
+            offload_id=offload_id,
             accel_index=accel_index,
             finish_time=finish,
         )
@@ -782,12 +873,13 @@ class Interpreter:
         if trace.enabled:
             trace.emit(
                 finish, accelerator.name, EV_OFFLOAD_END,
-                (instr.offload_id, instr.entry),
+                (offload_id, entry_name),
             )
             trace.emit(
                 ctx.now, ctx.core.name, EV_OFFLOAD_LAUNCH,
-                (instr.offload_id, accel_index, len(self.handles) - 1),
+                (offload_id, accel_index, len(self.handles) - 1),
             )
+        sched.dispatched(job, accel_index, ctx.now)
         return len(self.handles) - 1
 
     def _join_offload(self, handle_id: int, ctx: ThreadContext) -> None:

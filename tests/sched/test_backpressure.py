@@ -1,0 +1,135 @@
+"""Bounded ready queues: host backpressure stalls, trap mode, events."""
+
+import json
+
+import pytest
+
+from repro.compiler.driver import compile_program
+from repro.errors import RuntimeTrap
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.obs import TraceRecorder, chrome_trace_json, validate_chrome_trace
+from repro.sched import SchedOptions
+from repro.vm.interpreter import RunOptions, run_program
+
+
+def burst_source(count=18, work=200):
+    """``count`` offloads launched back-to-back before any join: the
+    host far outruns six accelerators, so bounded queues must push back."""
+    launches = "\n".join(
+        f"    __offload_handle_t h{i} = __offload {{ int w = 0;"
+        f" for (int k = 0; k < {work}; k++) {{ w += k; }} g_out[{i}] = w; }};"
+        for i in range(count)
+    )
+    joins = "\n".join(f"    __offload_join(h{i});" for i in range(count))
+    return f"""
+int g_out[{count}];
+void main() {{
+{launches}
+{joins}
+    int total = 0;
+    for (int i = 0; i < {count}; i++) {{ total += g_out[i]; }}
+    print_int(total);
+}}
+"""
+
+
+EXPECTED_TOTAL = sum(range(200)) * 18
+
+
+def run_burst(recorder=None, **sched_kwargs):
+    program = compile_program(burst_source(), CELL_LIKE)
+    machine = Machine(CELL_LIKE)
+    if recorder is not None:
+        machine.attach_trace(recorder)
+    return run_program(
+        program, machine, RunOptions(sched=SchedOptions(**sched_kwargs))
+    )
+
+
+class TestBackpressure:
+    def test_depth_one_stalls_the_host(self):
+        recorder = TraceRecorder()
+        result = run_burst(recorder, policy="greedy", queue_depth=1)
+        assert result.printed == [EXPECTED_TOTAL]
+        stats = result.sched
+        assert stats.stalls > 0
+        assert stats.stall_cycles > 0
+        assert stats.queue_high_water == 1
+        stall_events = [
+            e for e in recorder.events() if e[3] == "sched.stall"
+        ]
+        assert len(stall_events) == stats.stalls
+        for _seq, cycle, track, _kind, args in stall_events:
+            assert track == "sched"
+            accel_index, resume = args
+            assert 0 <= accel_index < 6
+            assert resume > cycle  # the stall has positive duration
+
+    def test_stalls_recorded_in_perf_counters(self):
+        result = run_burst(policy="greedy", queue_depth=1)
+        perf = result.perf()
+        assert perf["sched.stalls"] == result.sched.stalls
+        assert perf["sched.stall_cycles"] == result.sched.stall_cycles
+
+    def test_unbounded_queue_never_stalls(self):
+        result = run_burst(policy="greedy", queue_depth=0)
+        assert result.printed == [EXPECTED_TOTAL]
+        assert result.sched.stalls == 0
+        assert result.sched.queue_high_water > 1
+
+    def test_deeper_queue_stalls_less(self):
+        shallow = run_burst(policy="greedy", queue_depth=1)
+        deep = run_burst(policy="greedy", queue_depth=3)
+        assert deep.sched.stall_cycles < shallow.sched.stall_cycles
+        assert deep.printed == shallow.printed
+
+    def test_backpressure_slows_the_host_not_the_result(self):
+        free = run_burst(policy="greedy", queue_depth=0)
+        bounded = run_burst(policy="greedy", queue_depth=1)
+        assert bounded.printed == free.printed
+        # The host clock absorbed the stalls.
+        assert bounded.cycles >= free.cycles
+
+    def test_trap_admission_raises(self):
+        with pytest.raises(RuntimeTrap, match="ready queue full"):
+            run_burst(policy="greedy", queue_depth=1, admission="trap")
+
+    def test_trap_message_names_accelerator_and_depth(self):
+        with pytest.raises(RuntimeTrap, match=r"accelerator \d+ ready "
+                                               r"queue full \(depth 1\)"):
+            run_burst(policy="greedy", queue_depth=1, admission="trap")
+
+
+class TestSchedulerLaneExport:
+    def test_sched_lane_validates_and_renders(self):
+        recorder = TraceRecorder()
+        run_burst(recorder, policy="greedy", queue_depth=1)
+        trace = json.loads(chrome_trace_json(recorder))
+        assert validate_chrome_trace(trace) == []
+        thread_names = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event.get("ph") == "M" and event.get("name") == "thread_name"
+        }
+        assert "sched" in thread_names
+        stall_spans = [
+            event
+            for event in trace["traceEvents"]
+            if event.get("cat") == "sched" and event.get("ph") == "X"
+            and event["name"].startswith("stall")
+        ]
+        assert stall_spans
+        assert all(event["dur"] > 0 for event in stall_spans)
+
+    def test_upload_spans_on_accelerator_tracks(self):
+        recorder = TraceRecorder()
+        result = run_burst(recorder, policy="locality", queue_depth=0)
+        uploads = [
+            e for e in recorder.events() if e[3] == "sched.upload"
+        ]
+        assert len(uploads) == result.sched.uploads
+        for _seq, _cycle, track, _kind, args in uploads:
+            assert track.startswith("acc")
+            offload_id, code_bytes, end_cycle = args
+            assert code_bytes > 0

@@ -1,0 +1,186 @@
+"""The JobGraph API: construction rules, execution, affinity,
+determinism, and handle hygiene."""
+
+import struct
+
+import pytest
+
+from repro.compiler.driver import compile_program
+from repro.errors import RuntimeTrap
+from repro.game.sources import game_demo_source
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.sched import JobGraph, SchedOptions, run_graph
+from repro.vm.interpreter import RunOptions
+
+PARAMS = dict(entity_count=12, pair_count=8, particles=8, frames=2)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(game_demo_source(**PARAMS), CELL_LIKE)
+
+
+def fresh_machine_and_cell(program):
+    """A machine plus a heap cell holding ``&g_world`` (the capture-slot
+    shape the offload entries expect)."""
+    machine = Machine(CELL_LIKE)
+    world = program.globals["g_world"].address
+    cell = machine.heap.allocate(4)
+    machine.main_memory.write_unchecked(cell, struct.pack("<I", world))
+    return machine, cell
+
+
+def frame_graph(program, cell, affinity=None):
+    world = program.globals["g_world"].address
+    graph = JobGraph()
+    barrier = [graph.add_host("seed", "seed")]
+    for f in range(PARAMS["frames"]):
+        ai = graph.add_offload(
+            f"ai{f}", 0, args=(cell,), after=barrier,
+            priority=1, affinity=affinity,
+        )
+        anim = graph.add_offload(f"anim{f}", 1, args=(cell,), after=barrier)
+        emit = graph.add_offload(f"emit{f}", 2, args=(cell,), after=barrier)
+        collide = graph.add_host(
+            f"collide{f}", "GameWorld::detectCollisions",
+            args=(world,), after=barrier,
+        )
+        integrate = graph.add_host(
+            f"integrate{f}", "GameWorld::integrate",
+            args=(world,), after=(ai, anim, emit, collide),
+        )
+        barrier = [
+            graph.add_host(
+                f"render{f}", "GameWorld::render",
+                args=(world,), after=(integrate,),
+            )
+        ]
+    return graph
+
+
+def run_frames(program, policy="greedy", affinity=None):
+    machine, cell = fresh_machine_and_cell(program)
+    graph = frame_graph(program, cell, affinity=affinity)
+    return run_graph(
+        program, machine, graph,
+        RunOptions(sched=SchedOptions(policy=policy)),
+    )
+
+
+class TestGraphConstruction:
+    def test_duplicate_names_rejected(self):
+        graph = JobGraph()
+        graph.add_host("a", "seed")
+        with pytest.raises(ValueError, match="duplicate job name"):
+            graph.add_host("a", "seed")
+
+    def test_unknown_dependency_rejected(self):
+        graph = JobGraph()
+        with pytest.raises(ValueError, match="unknown job"):
+            graph.add_host("b", "seed", after=("missing",))
+
+    def test_deps_first_guarantees_acyclic(self):
+        graph = JobGraph()
+        a = graph.add_host("a", "seed")
+        b = graph.add_host("b", "seed", after=(a,))
+        assert graph.job(b).deps == (a,)
+        assert len(graph) == 2
+
+    def test_validate_checks_targets(self, program):
+        graph = JobGraph()
+        graph.add_offload("x", 99)
+        with pytest.raises(ValueError, match="unknown offload"):
+            graph.validate(program)
+        graph2 = JobGraph()
+        graph2.add_host("y", "nope")
+        with pytest.raises(ValueError, match="unknown function"):
+            graph2.validate(program)
+
+
+class TestGraphExecution:
+    def test_pipeline_runs_and_matches_implicit_offloads(self, program):
+        from repro.vm.interpreter import run_program
+
+        implicit = run_program(program, Machine(CELL_LIKE))
+        out = run_frames(program)
+        address = program.globals["g_rendered"].address
+        implicit_value = struct.unpack(
+            "<f", implicit.machine.main_memory.read(address, 4)
+        )[0]
+        graph_value = struct.unpack(
+            "<f", out.result.machine.main_memory.read(address, 4)
+        )[0]
+        assert graph_value == pytest.approx(implicit_value, abs=1e-3)
+        assert out.cycles > 0
+
+    def test_records_cover_every_job(self, program):
+        out = run_frames(program)
+        assert len(out.records) == 1 + 6 * PARAMS["frames"]
+        seed = out.record("seed")
+        assert seed.kind == "host"
+        assert seed.accel_index == -1
+        ai = out.record("ai0")
+        assert ai.kind == "offload"
+        assert ai.accel_index >= 0
+        assert ai.finish > ai.start
+        with pytest.raises(KeyError):
+            out.record("nope")
+
+    def test_dependencies_respected_in_time(self, program):
+        out = run_frames(program)
+        for f in range(PARAMS["frames"]):
+            integrate = out.record(f"integrate{f}")
+            for dep in (f"ai{f}", f"anim{f}", f"emit{f}", f"collide{f}"):
+                assert out.record(dep).finish <= integrate.finish
+            assert out.record(f"render{f}").start >= integrate.start
+
+    def test_no_unjoined_handles_leak(self, program):
+        out = run_frames(program)
+        codes = [f.code for f in out.result.diagnostics]
+        assert "W-offload-unjoined" not in codes
+
+    def test_deterministic_across_runs(self, program):
+        first = run_frames(program, policy="critical-path")
+        second = run_frames(program, policy="critical-path")
+        assert first.cycles == second.cycles
+        assert [
+            (r.name, r.accel_index, r.start, r.finish)
+            for r in first.records
+        ] == [
+            (r.name, r.accel_index, r.start, r.finish)
+            for r in second.records
+        ]
+
+    def test_locality_beats_greedy_on_graph(self, program):
+        greedy = run_frames(program, policy="greedy")
+        locality = run_frames(program, policy="locality")
+        assert locality.cycles < greedy.cycles
+        assert locality.result.sched.uploads < greedy.result.sched.uploads
+
+
+class TestAffinity:
+    def test_affinity_pins_placement(self, program):
+        out = run_frames(program, affinity=3)
+        for f in range(PARAMS["frames"]):
+            assert out.record(f"ai{f}").accel_index == 3
+
+    def test_bad_affinity_traps(self, program):
+        machine, cell = fresh_machine_and_cell(program)
+        graph = JobGraph()
+        graph.add_offload("ai", 0, args=(cell,), affinity=42)
+        with pytest.raises(RuntimeTrap, match="affinity"):
+            run_graph(
+                program, machine, graph,
+                RunOptions(sched=SchedOptions(policy="greedy")),
+            )
+
+
+class TestGraphCompatMode:
+    def test_graph_runs_without_sched_options(self, program):
+        machine, cell = fresh_machine_and_cell(program)
+        graph = frame_graph(program, cell)
+        out = run_graph(program, machine, graph)
+        assert out.cycles > 0
+        assert out.result.sched.policy == "greedy"
+        assert out.result.sched.uploads == 0  # compat: uploads unmodelled

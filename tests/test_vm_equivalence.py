@@ -10,6 +10,7 @@ paths.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 import pytest
@@ -27,7 +28,8 @@ from repro.game.sources import (
     move_loop_source,
     word_struct_source,
 )
-from repro.obs import TraceRecorder
+from repro.obs import TraceRecorder, chrome_trace_json
+from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.interpreter import RunOptions, make_interpreter, run_program
 from repro.vm.compiled import CompiledInterpreter
 from tests.properties.test_differential_fuzzing import ProgramBuilder
@@ -47,12 +49,8 @@ def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
     results = []
     recorders = []
     for engine in ("reference", "compiled"):
-        options = run_options or RunOptions()
-        options = RunOptions(
-            racecheck=options.racecheck,
-            check_dma_discipline=options.check_dma_discipline,
-            max_instructions=options.max_instructions,
-            engine=engine,
+        options = dataclasses.replace(
+            run_options or RunOptions(), engine=engine
         )
         machine = Machine(config)
         recorder = TraceRecorder(capacity=1 << 18)
@@ -227,6 +225,77 @@ class TestTrapEquivalence:
             messages.append(str(excinfo.value))
         assert messages[0] == messages[1]
         assert "indirect call through bad function id 0xbad" in messages[0]
+
+
+def _burst_offloads_source(count: int = 12, work: int = 120) -> str:
+    """``count`` expression-form offloads launched before any join —
+    enough concurrency to exercise bounded queues."""
+    launches = "\n".join(
+        f"    __offload_handle_t h{i} = __offload {{ int w = 0;"
+        f" for (int k = 0; k < {work}; k++) {{ w += k; }} g_out[{i}] = w; }};"
+        for i in range(count)
+    )
+    joins = "\n".join(f"    __offload_join(h{i});" for i in range(count))
+    return f"""
+int g_out[{count}];
+void main() {{
+{launches}
+{joins}
+    int total = 0;
+    for (int i = 0; i < {count}; i++) {{ total += g_out[i]; }}
+    print_int(total);
+}}
+"""
+
+
+class TestSchedulerEquivalence:
+    """Explicit scheduling preserves engine equivalence: every policy is
+    cycle- and trace-identical between the two engines (the sched lane
+    included), with matching utilization accounting."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_policies_identical_on_figure2(self, policy):
+        ref, compiled = run_both(
+            figure2_source(frames=4),
+            run_options=RunOptions(sched=SchedOptions(policy=policy)),
+        )
+        assert ref.sched is not None
+        assert ref.sched.policy == policy
+        assert compiled.sched.as_dict() == ref.sched.as_dict()
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_policies_identical_on_game_demo(self, policy):
+        run_both(
+            game_demo_source(entity_count=12, pair_count=8, particles=8),
+            run_options=RunOptions(sched=SchedOptions(policy=policy)),
+        )
+
+    def test_bounded_queue_identical(self):
+        ref, compiled = run_both(
+            _burst_offloads_source(),
+            run_options=RunOptions(
+                sched=SchedOptions(policy="greedy", queue_depth=1)
+            ),
+        )
+        assert ref.sched.stalls > 0
+        assert compiled.sched.stalls == ref.sched.stalls
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_repeat_runs_byte_identical(self, policy):
+        """Two runs under one policy export byte-identical traces."""
+        program = compile_program(figure2_source(frames=3), CELL_LIKE)
+        exports = []
+        for _ in range(2):
+            machine = Machine(CELL_LIKE)
+            recorder = TraceRecorder(capacity=1 << 18)
+            machine.attach_trace(recorder)
+            result = run_program(
+                program,
+                machine,
+                RunOptions(engine="compiled", sched=SchedOptions(policy=policy)),
+            )
+            exports.append((chrome_trace_json(recorder), result.cycles))
+        assert exports[0] == exports[1]
 
 
 class TestDeterminism:
