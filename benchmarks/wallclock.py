@@ -1,4 +1,4 @@
-"""Wall-clock comparison of the two execution engines.
+"""Wall-clock comparison of the three execution engines.
 
 Thin entry point over :mod:`repro.tools.bench` so the benchmark lives
 alongside the paper-experiment suites::
@@ -7,8 +7,12 @@ alongside the paper-experiment suites::
 
 Unlike the ``test_e*`` suites (which measure *simulated cycles* and are
 engine-independent by construction), this measures *host seconds*: how
-fast the simulator itself executes under the closure-compiled engine
-versus the reference decode loop, workload by workload.
+fast the simulator itself executes under the closure-compiled and
+source-codegen engines versus the reference decode loop, workload by
+workload.  One-time translation/codegen cost is timed separately
+(``*_translate_seconds`` columns) so the per-engine simulation times —
+and every ``speedup`` ratio derived from them — are not polluted by the
+first-run translation cost.
 """
 
 import sys

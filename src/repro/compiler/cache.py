@@ -76,12 +76,19 @@ def compile_cache_key(
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`CompileCache` instance."""
+    """Hit/miss accounting for one :class:`CompileCache` instance.
+
+    Program artifacts and auxiliary text entries (generated engine
+    source, see :meth:`CompileCache.store_text`) are counted
+    separately so artifact-cache assertions stay exact."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions_bad: int = 0  # corrupt/version-skewed entries discarded
+    aux_hits: int = 0
+    aux_misses: int = 0
+    aux_stores: int = 0
 
 
 class CompileCache:
@@ -99,11 +106,19 @@ class CompileCache:
         #: key -> artifact JSON text; avoids disk reads on a warm
         #: process while still deserializing fresh objects per load.
         self._text: dict[str, str] = {}
+        #: (key, kind) -> auxiliary text entries (e.g. generated
+        #: engine source keyed alongside the artifact shards).
+        self._aux: dict[tuple[str, str], str] = {}
 
     # -------------------------------------------------------------- paths
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def aux_path(self, key: str, kind: str) -> str:
+        """Path of the auxiliary ``kind`` entry stored alongside ``key``
+        (e.g. kind ``"codegen.py"`` -> ``<dir>/<key[:2]>/<key>.codegen.py``)."""
+        return os.path.join(self.directory, key[:2], f"{key}.{kind}")
 
     def __contains__(self, key: str) -> bool:
         return key in self._text or os.path.exists(self.path_for(key))
@@ -158,6 +173,46 @@ class CompileCache:
         self._text[key] = text
         self.stats.stores += 1
 
+    def load_text(self, key: str, kind: str) -> Optional[str]:
+        """The auxiliary ``kind`` text stored under ``key``, or None.
+
+        Unlike :meth:`load` there is no validation layer here — callers
+        version their payloads through the key itself (the codegen
+        engine folds :data:`repro.vm.codegen.CODEGEN_VERSION` into it),
+        so a hit is always usable as-is.
+        """
+        text = self._aux.get((key, kind))
+        if text is None:
+            try:
+                with open(self.aux_path(key, kind), "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                self.stats.aux_misses += 1
+                return None
+            self._aux[(key, kind)] = text
+        self.stats.aux_hits += 1
+        return text
+
+    def store_text(self, key: str, text: str, kind: str) -> None:
+        """Persist auxiliary text under ``key`` (atomic, like :meth:`store`)."""
+        path = self.aux_path(key, kind)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._aux[(key, kind)] = text
+        self.stats.aux_stores += 1
+
     def _discard(self, key: str) -> None:
         try:
             os.unlink(self.path_for(key))
@@ -165,8 +220,10 @@ class CompileCache:
             pass
 
     def clear(self) -> None:
-        """Drop every entry (in memory and on disk)."""
+        """Drop every entry (in memory and on disk), auxiliary text
+        entries included."""
         self._text.clear()
+        self._aux.clear()
         if not os.path.isdir(self.directory):
             return
         for shard in os.listdir(self.directory):
@@ -174,7 +231,7 @@ class CompileCache:
             if not os.path.isdir(shard_dir):
                 continue
             for name in os.listdir(shard_dir):
-                if name.endswith(".json"):
+                if name.endswith(".json") or name.endswith(".codegen.py"):
                     try:
                         os.unlink(os.path.join(shard_dir, name))
                     except OSError:

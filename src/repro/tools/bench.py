@@ -1,9 +1,16 @@
-"""Wall-clock benchmark: compiled engine vs the reference decode loop.
+"""Wall-clock benchmark: all three execution engines head to head.
 
 Measures *host* execution time (Python wall clock, not simulated cycles)
-of both execution engines over the paper's workloads, verifies along the
-way that the two engines observe identical simulated results, and writes
-a machine-readable report to ``BENCH_vm.json``.
+of the reference decode loop, the closure-compiled engine and the
+source-codegen engine over the paper's workloads, verifies along the way
+that all engines observe identical simulated results, and writes a
+machine-readable report to ``BENCH_vm.json``.
+
+One-time translation cost (IR -> closures for the compiled engine,
+IR -> generated Python source for the codegen engine) is timed
+separately via :func:`repro.vm.warm_translations` and reported as
+``*_translate_seconds``, so the per-engine ``*_seconds`` columns and
+every ``speedup`` ratio measure steady-state simulation only.
 
 Usage::
 
@@ -11,11 +18,12 @@ Usage::
         [--repeats 3] [--quick] [--trace FILE]
         [--trace-format chrome|timeline|profile] [--policy NAME]
 
-The headline number is the Figure 2 game-frame workload: the acceptance
-target for the compiled engine is a >= 3x speedup there.  The report
-also carries a ``scheduler`` section: simulated game-frame cycles under
-every scheduling policy, with the locality-vs-greedy ratio the CI sched
-job gates on.
+The headline numbers are on the Figure 2 game-frame workload: the
+acceptance target is >= 3x for the compiled engine and >= 7x (aim 10x)
+for the codegen engine over the reference.  The report also carries a
+``scheduler`` section: simulated game-frame cycles under every
+scheduling policy, with the locality-vs-greedy ratio the CI sched job
+gates on.
 """
 
 from __future__ import annotations
@@ -42,9 +50,13 @@ from repro.game.sources import (
     word_struct_source,
 )
 from repro.sched import POLICY_NAMES, SchedOptions
+from repro.vm.compiled import warm_translations
 from repro.vm.interpreter import RunOptions, run_program
 
 CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+
+#: The engines the workload matrix times, reference first.
+BENCH_ENGINES = ("reference", "compiled", "codegen")
 
 
 def workloads(quick: bool) -> list[dict]:
@@ -126,26 +138,37 @@ def bench_workload(spec: dict, repeats: int, sched=None) -> dict:
     config = CONFIGS[spec["config"]]
     program = compile_program(spec["source"], config, spec["options"])
 
-    # Warm-up pass doubles as the equivalence check; the compiled
-    # engine's translation cost is paid here, as in real use, so timed
-    # reps measure steady-state dispatch.
-    _, ref_result = _time_run(program, config, "reference", sched)
-    _, compiled_result = _time_run(program, config, "compiled", sched)
-    identical = (
-        ref_result.output == compiled_result.output
-        and ref_result.cycles == compiled_result.cycles
-        and ref_result.machine.perf.as_dict()
-        == compiled_result.machine.perf.as_dict()
+    # Pay each engine's one-time translation cost up front, timed
+    # separately, so the per-run columns (and every speedup ratio)
+    # measure steady-state simulation only.
+    translate = {}
+    for engine in ("compiled", "codegen"):
+        start = time.perf_counter()
+        warm_translations(program, Machine(config), engine=engine)
+        translate[engine] = time.perf_counter() - start
+
+    # Warm-up runs double as the three-way equivalence check.
+    results = {}
+    for engine in BENCH_ENGINES:
+        _, results[engine] = _time_run(program, config, engine, sched)
+    ref_result = results["reference"]
+    identical = all(
+        results[engine].output == ref_result.output
+        and results[engine].cycles == ref_result.cycles
+        and results[engine].machine.perf.as_dict()
+        == ref_result.machine.perf.as_dict()
+        for engine in BENCH_ENGINES[1:]
     )
 
-    times = {"reference": [], "compiled": []}
+    times = {engine: [] for engine in BENCH_ENGINES}
     for _ in range(repeats):
-        for engine in ("reference", "compiled"):
+        for engine in BENCH_ENGINES:
             elapsed, _ = _time_run(program, config, engine, sched)
             times[engine].append(elapsed)
 
     ref_s = min(times["reference"])
     compiled_s = min(times["compiled"])
+    codegen_s = min(times["codegen"])
     return {
         "name": spec["name"],
         "description": spec["description"],
@@ -153,7 +176,12 @@ def bench_workload(spec: dict, repeats: int, sched=None) -> dict:
         "simulated_cycles": ref_result.cycles,
         "reference_seconds": round(ref_s, 6),
         "compiled_seconds": round(compiled_s, 6),
+        "codegen_seconds": round(codegen_s, 6),
+        "compiled_translate_seconds": round(translate["compiled"], 6),
+        "codegen_translate_seconds": round(translate["codegen"], 6),
         "speedup": round(ref_s / compiled_s, 3),
+        "codegen_speedup": round(ref_s / codegen_s, 3),
+        "codegen_vs_compiled": round(compiled_s / codegen_s, 3),
         "engines_identical": identical,
         # Full counter snapshot of the (engine-identical) run, so the
         # report carries the paper's per-experiment quantities — cache
@@ -303,8 +331,10 @@ def main(argv: list[str] | None = None) -> int:
         status = "ok" if entry["engines_identical"] else "MISMATCH"
         print(
             f"{entry['name']:24s} ref {entry['reference_seconds']:8.4f}s  "
-            f"compiled {entry['compiled_seconds']:8.4f}s  "
-            f"speedup {entry['speedup']:5.2f}x  [{status}]"
+            f"compiled {entry['compiled_seconds']:8.4f}s "
+            f"({entry['speedup']:5.2f}x)  "
+            f"codegen {entry['codegen_seconds']:8.4f}s "
+            f"({entry['codegen_speedup']:5.2f}x)  [{status}]"
         )
 
     if args.trace is not None:
@@ -346,9 +376,12 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     product = 1.0
+    codegen_product = 1.0
     for entry in results:
         product *= entry["speedup"]
+        codegen_product *= entry["codegen_speedup"]
     geomean = product ** (1.0 / len(results))
+    codegen_geomean = codegen_product ** (1.0 / len(results))
     headline = next(e for e in results if e["name"] == "game-frame")
     report = {
         "benchmark": "vm-engine-wallclock",
@@ -363,7 +396,10 @@ def main(argv: list[str] | None = None) -> int:
         "compile_cache": compile_cache,
         "summary": {
             "geomean_speedup": round(geomean, 3),
+            "geomean_codegen_speedup": round(codegen_geomean, 3),
             "game_frame_speedup": headline["speedup"],
+            "game_frame_codegen_speedup": headline["codegen_speedup"],
+            "game_frame_codegen_vs_compiled": headline["codegen_vs_compiled"],
             "locality_vs_greedy": scheduler["locality_vs_greedy"],
             "compile_cache_speedup": compile_cache["compile_speedup"],
             "all_identical": all(e["engines_identical"] for e in results)
@@ -374,8 +410,9 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(
-        f"-- geomean {geomean:.2f}x, game-frame "
-        f"{headline['speedup']:.2f}x -> {args.out}"
+        f"-- geomean compiled {geomean:.2f}x / codegen "
+        f"{codegen_geomean:.2f}x, game-frame {headline['speedup']:.2f}x / "
+        f"{headline['codegen_speedup']:.2f}x -> {args.out}"
     )
     if not report["summary"]["all_identical"]:
         print("error: engines diverged", file=sys.stderr)

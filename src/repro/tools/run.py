@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.run program.om [--target cell|smp|dsp]
         [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
         [--wordaddr hybrid|emulate] [--dump-ir] [--perf] [--record-races]
+        [--engine compiled|codegen|reference] [--dump-codegen]
         [--dump-after PASS] [--time-passes] [--cache-dir DIR]
         [--emit-artifact PATH] [--trace FILE]
         [--trace-format chrome|timeline|profile]
@@ -40,7 +41,7 @@ from repro.obs import (
 )
 from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.sched import POLICY_NAMES, SchedOptions
-from repro.vm.interpreter import RunOptions, run_program
+from repro.vm.interpreter import ENGINE_NAMES, RunOptions, run_program
 
 TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
 
@@ -97,8 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="record DMA races instead of aborting on the first one",
     )
     parser.add_argument(
-        "--engine", choices=["compiled", "reference"], default=None,
-        help="execution engine (default: the compiled closure engine)",
+        "--engine", choices=list(ENGINE_NAMES), default=None,
+        help="execution engine (default: the compiled closure engine; "
+             "'codegen' runs generated Python source)",
+    )
+    parser.add_argument(
+        "--dump-codegen", action="store_true",
+        help="print the codegen engine's generated Python module for "
+             "the compiled program instead of running it",
     )
     parser.add_argument(
         "--policy", choices=list(POLICY_NAMES), default=None,
@@ -229,6 +236,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.dump_ir:
         print(format_program(program))
+        return 0
+    if args.dump_codegen:
+        from repro.vm.codegen import generate_module_source
+
+        source_text, _, fallbacks = generate_module_source(
+            program, config.cost
+        )
+        print(source_text)
+        if fallbacks:
+            print(
+                f"-- {fallbacks} function(s) fall back to the "
+                f"closure-compiled engine",
+                file=sys.stderr,
+            )
         return 0
     sched = None
     if args.policy is not None or args.queue_depth:

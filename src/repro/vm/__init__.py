@@ -4,25 +4,44 @@ The interpreter is deterministic: each logical thread (the host plus one
 per offload launch) executes to completion with its own cycle counter;
 parallelism is modelled by clock combination at launch/join points, so
 measured cycle counts are exactly reproducible run to run.
+
+Three engines share the contract (identical cycles, counters, traces):
+the reference decode loop (:mod:`repro.vm.interpreter`), the
+closure-compiled engine (:mod:`repro.vm.compiled`) and the
+source-codegen engine (:mod:`repro.vm.codegen`).
 """
 
+from repro.vm.codegen import (
+    CodegenInterpreter,
+    CodegenStats,
+    clear_codegen_cache,
+    generate_module_source,
+)
 from repro.vm.compiled import CompiledInterpreter, warm_translations
 from repro.vm.interpreter import (
     DEFAULT_ENGINE,
+    ENGINE_NAMES,
     Interpreter,
     RunOptions,
     RunResult,
     make_interpreter,
     run_program,
+    validate_engine,
 )
 
 __all__ = [
+    "CodegenInterpreter",
+    "CodegenStats",
     "CompiledInterpreter",
     "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
     "Interpreter",
     "RunOptions",
     "RunResult",
+    "clear_codegen_cache",
+    "generate_module_source",
     "make_interpreter",
     "run_program",
+    "validate_engine",
     "warm_translations",
 ]

@@ -1258,22 +1258,39 @@ def warm_translations(
     program: IRProgram,
     machine: Machine,
     options: Optional[RunOptions] = None,
+    engine: str = "compiled",
+    cache=None,
 ) -> int:
     """Translate every function of ``program`` ahead of execution.
 
     Serving workloads that load a cached artifact
     (:mod:`repro.compiler.cache`) and then field many requests against
-    it can pay the IR -> closure translation at load time instead of on
+    it can pay the IR -> translation cost at load time instead of on
     each function's first call.  The translations are cached on the
-    ``IRFunction`` objects themselves (keyed by cost model), so every
+    program objects themselves (keyed by cost model), so every
     subsequent ``run_program`` of this program object on a machine with
     the same cost model reuses them.
 
+    Args:
+        engine: ``"compiled"`` warms the closure translations,
+            ``"codegen"`` the generated-source module (loading cached
+            source from ``cache`` / ``REPRO_COMPILE_CACHE`` when
+            available, in which case no codegen runs at all) and
+            ``"all"`` warms both.
+        cache: Optional :class:`repro.compiler.cache.CompileCache` the
+            codegen warm-up should consult before translating.
+
     Returns the number of functions that actually needed translating
-    (0 when the program is already warm for this cost model).
+    (0 when the program is already warm for this cost model — for the
+    codegen engine that includes source served from the compile cache).
     """
+    if engine not in ("compiled", "codegen", "all"):
+        raise ValueError(
+            f"unknown warm_translations engine {engine!r};"
+            " known: 'compiled', 'codegen', 'all'"
+        )
     run_options = options or RunOptions()
-    # No race checkers: this engine instance only translates, and must
+    # No race checkers: these engine instances only translate, and must
     # not leave observers attached to the machine's DMA engines.
     warm_options = RunOptions(
         racecheck=None,
@@ -1281,14 +1298,21 @@ def warm_translations(
         max_instructions=run_options.max_instructions,
         engine="compiled",
     )
-    engine = CompiledInterpreter(program, machine, warm_options)
     translated = 0
-    for function in program.functions.values():
-        fdict = function.__dict__
-        if (
-            fdict.get("_cc_ops") is None
-            or fdict.get("_cc_cost") is not engine._cost
-        ):
-            engine._compile(function)
-            translated += 1
+    if engine in ("compiled", "all"):
+        warm = CompiledInterpreter(program, machine, warm_options)
+        for function in program.functions.values():
+            fdict = function.__dict__
+            if (
+                fdict.get("_cc_ops") is None
+                or fdict.get("_cc_cost") is not warm._cost
+            ):
+                warm._compile(function)
+                translated += 1
+    if engine in ("codegen", "all"):
+        from repro.vm.codegen import CodegenInterpreter
+
+        warm = CodegenInterpreter(program, machine, warm_options)
+        warm._ensure_module(cache=cache)
+        translated += warm.codegen_stats.translations
     return translated

@@ -76,12 +76,32 @@ ACCESSOR_TAG = 28
 
 _U32 = 0xFFFFFFFF
 
+#: Every execution engine ``make_interpreter`` knows how to build.
+#: ``"reference"`` is the decode loop in this module, ``"compiled"`` the
+#: closure-compiled engine (:mod:`repro.vm.compiled`) and ``"codegen"``
+#: the source-generating engine (:mod:`repro.vm.codegen`).  All three
+#: are cycle- and counter-identical; only host wall-clock differs.
+ENGINE_NAMES = ("compiled", "codegen", "reference")
+
 #: Execution engine used when :class:`RunOptions` does not name one.
-#: ``"compiled"`` is the closure-compiled engine
-#: (:mod:`repro.vm.compiled`); ``"reference"`` is the decode loop in this
-#: module.  Both are cycle- and counter-identical; only host wall-clock
-#: differs.  Overridable for a whole process via ``REPRO_VM_ENGINE``.
+#: Overridable for a whole process via ``REPRO_VM_ENGINE``.
 DEFAULT_ENGINE = os.environ.get("REPRO_VM_ENGINE", "compiled")
+
+
+def validate_engine(engine: str, source: str = "engine") -> str:
+    """Reject unknown engine names with a list of the known ones.
+
+    Shared by :class:`RunOptions`, the CLI tools and the
+    ``REPRO_VM_ENGINE`` environment override so a typo fails at
+    option-parse time instead of deep inside the VM.
+    """
+    if engine not in ENGINE_NAMES:
+        known = ", ".join(repr(name) for name in ENGINE_NAMES)
+        raise ValueError(
+            f"unknown execution engine {engine!r} (from {source}); "
+            f"known engines: {known}"
+        )
+    return engine
 
 
 def _wrap_signed(value: int) -> int:
@@ -119,9 +139,11 @@ class RunOptions:
             checks it per instruction; the compiled engine at basic-block
             granularity (so a runaway program may execute up to one block
             past the budget before trapping).
-        engine: ``"compiled"`` (closure-compiled dispatch, the default)
-            or ``"reference"`` (the legacy decode loop).  None picks
-            :data:`DEFAULT_ENGINE`.
+        engine: ``"compiled"`` (closure-compiled dispatch, the
+            default), ``"codegen"`` (generated Python source) or
+            ``"reference"`` (the legacy decode loop).  None picks
+            :data:`DEFAULT_ENGINE`.  Unknown names are rejected at
+            construction time.
         sched: Explicit scheduling configuration
             (:class:`repro.sched.scheduler.SchedOptions`): placement
             policy, bounded ready queues, upload modelling and the
@@ -135,6 +157,10 @@ class RunOptions:
     max_instructions: int = 200_000_000
     engine: Optional[str] = None
     sched: Optional[SchedOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None:
+            validate_engine(self.engine, source="RunOptions.engine")
 
 
 @dataclass
@@ -596,23 +622,40 @@ class Interpreter:
             if instr.size_reg is not None
             else instr.size
         )
+        self._copy_values(
+            instr.src_space,
+            instr.dst_space,
+            int(regs[instr.src_addr]),  # type: ignore[arg-type]
+            int(regs[instr.dst_addr]),  # type: ignore[arg-type]
+            size,
+            ctx,
+        )
+
+    def _copy_values(
+        self,
+        src_space: AccSpace,
+        dst_space: AccSpace,
+        src: int,
+        dst: int,
+        size: int,
+        ctx: ThreadContext,
+    ) -> None:
+        """Bulk copy on resolved operand values; shared by every engine."""
         if size <= 0:
             return
-        src = int(regs[instr.src_addr])  # type: ignore[arg-type]
-        dst = int(regs[instr.dst_addr])  # type: ignore[arg-type]
-        if instr.src_space is AccSpace.OUTER:
+        if src_space is AccSpace.OUTER:
             assert ctx.strategy is not None
             data, ctx.now = ctx.strategy.load(src, size, ctx.now)
         else:
-            memory = self._memory_for(instr.src_space, ctx)
-            ctx.now += self._bulk_cost(instr.src_space, size, ctx)
+            memory = self._memory_for(src_space, ctx)
+            ctx.now += self._bulk_cost(src_space, size, ctx)
             data = memory.read_unchecked(src, size)
-        if instr.dst_space is AccSpace.OUTER:
+        if dst_space is AccSpace.OUTER:
             assert ctx.strategy is not None
             ctx.now = ctx.strategy.store(dst, data, ctx.now)
         else:
-            memory = self._memory_for(instr.dst_space, ctx)
-            ctx.now += self._bulk_cost(instr.dst_space, size, ctx)
+            memory = self._memory_for(dst_space, ctx)
+            ctx.now += self._bulk_cost(dst_space, size, ctx)
             memory.write_unchecked(dst, data)
 
     def _bulk_cost(self, space: AccSpace, size: int, ctx: ThreadContext) -> int:
@@ -657,12 +700,29 @@ class Interpreter:
     def _exec_domain_call(
         self, instr: DomainCall, regs: list[object], ctx: ThreadContext
     ) -> object:
-        meta = self.program.offload_meta[instr.offload_id]
-        fid = int(regs[instr.func_id])  # type: ignore[arg-type]
+        return self._domain_call_values(
+            instr.offload_id,
+            instr.duplicate_id,
+            int(regs[instr.func_id]),  # type: ignore[arg-type]
+            [regs[a] for a in instr.args],
+            ctx,
+        )
+
+    def _domain_call_values(
+        self,
+        offload_id: int,
+        duplicate_id: Optional[str],
+        fid: int,
+        arg_values: list[object],
+        ctx: ThreadContext,
+    ) -> object:
+        """Domain dispatch on resolved operand values; shared by every
+        engine."""
+        meta = self.program.offload_meta[offload_id]
         ctx.core.perf.add("dispatch.vcalls")
         try:
             entry, ctx.now = meta.domain.lookup_entry(
-                ctx.core, fid, instr.duplicate_id, ctx.now
+                ctx.core, fid, duplicate_id, ctx.now
             )
         except MissingDuplicateError as exc:
             # Name the method the programmer must annotate: the program
@@ -676,7 +736,7 @@ class Interpreter:
         callee = self.program.function(str(entry.target))
         if entry.demand:
             self._ensure_code_resident(callee, ctx)
-        return self._exec_function(callee, [regs[a] for a in instr.args], ctx)
+        return self._exec_function(callee, arg_values, ctx)
 
     def _ensure_code_resident(self, callee: IRFunction, ctx: ThreadContext) -> None:
         """On-demand code loading: the first dispatch to a non-annotated
@@ -906,16 +966,20 @@ def make_interpreter(
 ) -> Interpreter:
     """Build the execution engine selected by ``options.engine``."""
     options = options or RunOptions()
-    engine = options.engine or DEFAULT_ENGINE
+    engine = options.engine
+    if engine is None:
+        engine = validate_engine(DEFAULT_ENGINE, source="REPRO_VM_ENGINE")
+    else:
+        validate_engine(engine, source="RunOptions.engine")
     if engine == "reference":
         return Interpreter(program, machine, options)
-    if engine == "compiled":
-        from repro.vm.compiled import CompiledInterpreter
+    if engine == "codegen":
+        from repro.vm.codegen import CodegenInterpreter
 
-        return CompiledInterpreter(program, machine, options)
-    raise ValueError(
-        f"unknown execution engine {engine!r}; choose 'compiled' or 'reference'"
-    )
+        return CodegenInterpreter(program, machine, options)
+    from repro.vm.compiled import CompiledInterpreter
+
+    return CompiledInterpreter(program, machine, options)
 
 
 def run_program(

@@ -143,8 +143,45 @@ class TestResolution:
         assert program_to_json(warm) == program_to_json(program)
 
 
+class TestAuxTextEntries:
+    """Auxiliary text entries (generated engine source) live alongside
+    the artifact shards without disturbing artifact accounting."""
+
+    def test_store_then_load(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        cache.store_text("ab" * 32, "def f(): pass\n", kind="codegen.py")
+        assert cache.load_text("ab" * 32, kind="codegen.py") == (
+            "def f(): pass\n"
+        )
+        assert cache.stats.aux_stores == 1
+        assert cache.stats.aux_hits == 1
+        # Artifact counters untouched.
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == 0
+
+    def test_miss_counts_and_returns_none(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        assert cache.load_text("cd" * 32, kind="codegen.py") is None
+        assert cache.stats.aux_misses == 1
+
+    def test_survives_process_boundary(self, tmp_path):
+        CompileCache(str(tmp_path)).store_text(
+            "ef" * 32, "x = 1\n", kind="codegen.py"
+        )
+        fresh = CompileCache(str(tmp_path))
+        assert fresh.load_text("ef" * 32, kind="codegen.py") == "x = 1\n"
+
+    def test_clear_drops_aux_entries(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        cache.store_text("01" * 32, "y = 2\n", kind="codegen.py")
+        cache.clear()
+        assert CompileCache(str(tmp_path)).load_text(
+            "01" * 32, kind="codegen.py"
+        ) is None
+
+
 class TestCachedExecutionEquivalence:
-    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    @pytest.mark.parametrize("engine", ["compiled", "codegen", "reference"])
     def test_cached_program_runs_identically(self, tmp_path, engine):
         cold = compile_program(SOURCE, CELL_LIKE)
         cache = CompileCache(str(tmp_path))

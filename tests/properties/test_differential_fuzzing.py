@@ -22,7 +22,8 @@ from hypothesis import given, settings, strategies as st
 from repro.compiler.driver import CompileOptions, compile_program
 from repro.machine.config import CELL_LIKE, SMP_UNIFORM
 from repro.machine.machine import Machine
-from repro.vm.interpreter import run_program
+from repro.obs import TraceRecorder, chrome_trace_json
+from repro.vm.interpreter import ENGINE_NAMES, RunOptions, run_program
 
 
 class ProgramBuilder:
@@ -136,6 +137,41 @@ def test_all_targets_and_optimiser_settings_agree(seed, statements, offloaded):
     outputs = _run_everywhere(source)
     assert all(o == outputs[0] for o in outputs), (
         f"divergent outputs {outputs} for program:\n{source}"
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    offloaded=st.booleans(),
+    optimize=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_three_engines_agree(seed, offloaded, optimize):
+    """Reference, compiled and codegen engines observe identical
+    results — output, cycles, perf counters, and the exported trace
+    down to the byte — on generated programs."""
+    source = ProgramBuilder(random.Random(seed), offloaded).build(4)
+    program = compile_program(
+        source, CELL_LIKE, CompileOptions(optimize=optimize)
+    )
+    observations = []
+    for engine in ENGINE_NAMES:
+        machine = Machine(CELL_LIKE)
+        recorder = TraceRecorder(capacity=1 << 16)
+        machine.attach_trace(recorder)
+        result = run_program(
+            program, machine, RunOptions(engine=engine)
+        )
+        observations.append(
+            (
+                result.printed,
+                result.cycles,
+                result.machine.perf.as_dict(),
+                chrome_trace_json(recorder),
+            )
+        )
+    assert all(o == observations[0] for o in observations), (
+        f"engine divergence for program:\n{source}"
     )
 
 

@@ -1,10 +1,12 @@
-"""Differential tests: the compiled engine against the reference engine.
+"""Differential tests: every engine against the reference engine.
 
-The closure-compiled engine (:mod:`repro.vm.compiled`) promises to be
+The closure-compiled engine (:mod:`repro.vm.compiled`) and the
+source-codegen engine (:mod:`repro.vm.codegen`) promise to be
 *bit-identical* to the reference decode loop: same printed output, same
-return value, same simulated cycle counts, same perf counters, same trap
-messages.  This suite enforces that promise over every paper workload,
-every machine configuration, a randomized IR fuzz corpus, and the trap
+return value, same simulated cycle counts, same perf counters, same
+cycle-stamped traces, same trap messages.  This suite enforces that
+promise over every paper workload, every machine configuration, a
+randomized IR fuzz corpus, the four scheduling policies, and the trap
 paths.
 """
 
@@ -30,25 +32,35 @@ from repro.game.sources import (
 )
 from repro.obs import TraceRecorder, chrome_trace_json
 from repro.sched import POLICY_NAMES, SchedOptions
-from repro.vm.interpreter import RunOptions, make_interpreter, run_program
+from repro.vm.interpreter import (
+    ENGINE_NAMES,
+    RunOptions,
+    make_interpreter,
+    run_program,
+)
+from repro.vm.codegen import CodegenInterpreter
 from repro.vm.compiled import CompiledInterpreter
 from tests.properties.test_differential_fuzzing import ProgramBuilder
 
 CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
 
+#: Reference first: ``run_both`` compares every other engine against it.
+ALL_ENGINES = ("reference", "compiled", "codegen")
+
 
 def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
-    """Run one source under both engines on fresh machines.
+    """Run one source under every engine on fresh machines.
 
-    Returns the two :class:`RunResult`\\ s after asserting that every
-    observable — output, return value, cycle counts, the full perf
-    counter dict, recorded races, and the cycle-stamped event trace —
-    is identical.
+    Returns the (reference, compiled) :class:`RunResult`\\ s after
+    asserting that every observable — output, return value, cycle
+    counts, the full perf counter dict, recorded races, and the
+    cycle-stamped event trace — is identical across all three engines
+    (codegen included).
     """
     program = compile_program(source, config, compile_options)
     results = []
     recorders = []
-    for engine in ("reference", "compiled"):
+    for engine in ALL_ENGINES:
         options = dataclasses.replace(
             run_options or RunOptions(), engine=engine
         )
@@ -57,18 +69,26 @@ def run_both(source, config=CELL_LIKE, compile_options=None, run_options=None):
         machine.attach_trace(recorder)
         recorders.append(recorder)
         results.append(run_program(program, machine, options))
-    ref, compiled = results
-    assert compiled.output == ref.output
-    assert compiled.return_value == ref.return_value
-    assert compiled.cycles == ref.cycles
-    assert compiled.host_cycles == ref.host_cycles
-    assert compiled.machine.perf.as_dict() == ref.machine.perf.as_dict()
-    assert [r.describe() for r in compiled.races] == [
-        r.describe() for r in ref.races
-    ]
-    assert recorders[1].events() == recorders[0].events()
-    assert recorders[1].dropped == recorders[0].dropped
-    return ref, compiled
+    ref = results[0]
+    for index, engine in enumerate(ALL_ENGINES[1:], start=1):
+        other = results[index]
+        assert other.output == ref.output, engine
+        assert other.return_value == ref.return_value, engine
+        assert other.cycles == ref.cycles, engine
+        assert other.host_cycles == ref.host_cycles, engine
+        assert other.machine.perf.as_dict() == ref.machine.perf.as_dict(), (
+            engine
+        )
+        assert [r.describe() for r in other.races] == [
+            r.describe() for r in ref.races
+        ], engine
+        assert recorders[index].events() == recorders[0].events(), engine
+        assert recorders[index].dropped == recorders[0].dropped, engine
+        # Traces must be identical down to the exported bytes.
+        assert chrome_trace_json(recorders[index]) == chrome_trace_json(
+            recorders[0]
+        ), engine
+    return ref, results[1]
 
 
 WORKLOADS = {
@@ -165,14 +185,14 @@ class TestTrapEquivalence:
     def _trap_both(self, source, config=CELL_LIKE, max_instructions=None):
         program = compile_program(source, config)
         messages = []
-        for engine in ("reference", "compiled"):
+        for engine in ALL_ENGINES:
             options = RunOptions(engine=engine)
             if max_instructions is not None:
                 options.max_instructions = max_instructions
             with pytest.raises(RuntimeTrap) as excinfo:
                 run_program(program, Machine(config), options)
             messages.append(str(excinfo.value))
-        assert messages[0] == messages[1]
+        assert all(m == messages[0] for m in messages), messages
         return messages[0]
 
     def test_division_by_zero(self):
@@ -217,13 +237,13 @@ class TestTrapEquivalence:
         ]
         main.num_regs = 1
         messages = []
-        for engine in ("reference", "compiled"):
+        for engine in ALL_ENGINES:
             with pytest.raises(RuntimeTrap) as excinfo:
                 run_program(
                     program, Machine(CELL_LIKE), RunOptions(engine=engine)
                 )
             messages.append(str(excinfo.value))
-        assert messages[0] == messages[1]
+        assert all(m == messages[0] for m in messages), messages
         assert "indirect call through bad function id 0xbad" in messages[0]
 
 
@@ -281,7 +301,8 @@ class TestSchedulerEquivalence:
         assert compiled.sched.stalls == ref.sched.stalls
 
     @pytest.mark.parametrize("policy", POLICY_NAMES)
-    def test_repeat_runs_byte_identical(self, policy):
+    @pytest.mark.parametrize("engine", ["compiled", "codegen"])
+    def test_repeat_runs_byte_identical(self, policy, engine):
         """Two runs under one policy export byte-identical traces."""
         program = compile_program(figure2_source(frames=3), CELL_LIKE)
         exports = []
@@ -292,24 +313,25 @@ class TestSchedulerEquivalence:
             result = run_program(
                 program,
                 machine,
-                RunOptions(engine="compiled", sched=SchedOptions(policy=policy)),
+                RunOptions(engine=engine, sched=SchedOptions(policy=policy)),
             )
             exports.append((chrome_trace_json(recorder), result.cycles))
         assert exports[0] == exports[1]
 
 
 class TestDeterminism:
-    """The compiled engine itself is deterministic run-to-run, and its
-    per-function ops cache survives across machines without leaking
-    state between runs."""
+    """The translated engines are deterministic run-to-run, and their
+    per-program translation caches survive across machines without
+    leaking state between runs."""
 
-    def test_repeat_runs_identical(self):
+    @pytest.mark.parametrize("engine", ["compiled", "codegen"])
+    def test_repeat_runs_identical(self, engine):
         program = compile_program(figure2_source(), CELL_LIKE)
         first = run_program(
-            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+            program, Machine(CELL_LIKE), RunOptions(engine=engine)
         )
         second = run_program(
-            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+            program, Machine(CELL_LIKE), RunOptions(engine=engine)
         )
         assert first.printed == second.printed
         assert first.cycles == second.cycles
@@ -325,16 +347,29 @@ class TestDeterminism:
         run_program(program, Machine(CELL_LIKE), RunOptions(engine="compiled"))
         assert entry._cc_ops is ops  # second run reused the translation
 
+    def test_codegen_module_cached_on_program(self):
+        program = compile_program(figure1_source(), CELL_LIKE)
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="codegen"))
+        module = program._cg_module
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="codegen"))
+        assert program._cg_module is module  # second run reused the module
+
     def test_engine_selection(self):
         program = compile_program(figure1_source(), CELL_LIKE)
         interp = make_interpreter(
             program, Machine(CELL_LIKE), RunOptions(engine="compiled")
         )
         assert isinstance(interp, CompiledInterpreter)
+        assert not isinstance(interp, CodegenInterpreter)
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="codegen")
+        )
+        assert isinstance(interp, CodegenInterpreter)
         interp = make_interpreter(
             program, Machine(CELL_LIKE), RunOptions(engine="reference")
         )
         assert not isinstance(interp, CompiledInterpreter)
+        assert "codegen" in ENGINE_NAMES
         with pytest.raises(ValueError, match="unknown execution engine"):
             make_interpreter(
                 program, Machine(CELL_LIKE), RunOptions(engine="jit")

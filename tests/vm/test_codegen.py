@@ -1,0 +1,198 @@
+"""Codegen engine internals: generated source, caching, warm starts.
+
+Equivalence with the other engines is enforced by
+``tests/test_vm_equivalence.py``; this module covers what is specific
+to the source-generating engine — deterministic source text, the
+in-memory and on-disk caches, warm starts that perform zero codegen,
+the per-function fallback path, and the ``--dump-codegen`` surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.cache import CompileCache
+from repro.compiler.driver import compile_program
+from repro.game.sources import figure1_source, figure2_source
+from repro.ir.instructions import Ret, UnOp
+from repro.ir.module import IRFunction
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.vm.codegen import (
+    CODEGEN_KIND,
+    CodegenInterpreter,
+    clear_codegen_cache,
+    codegen_cache_key,
+    generate_module_source,
+)
+from repro.vm.compiled import warm_translations
+from repro.vm.interpreter import RunOptions, run_program
+
+
+def _fresh_program(source=None):
+    return compile_program(source or figure2_source(), CELL_LIKE)
+
+
+class TestGeneratedSource:
+    def test_source_is_deterministic(self):
+        cost = CELL_LIKE.cost
+        first = generate_module_source(_fresh_program(), cost)
+        second = generate_module_source(_fresh_program(), cost)
+        assert first == second
+
+    def test_one_def_per_function(self):
+        program = _fresh_program()
+        source, generated, fallbacks = generate_module_source(
+            program, CELL_LIKE.cost
+        )
+        assert fallbacks == 0
+        assert generated == len(program.functions)
+        assert source.count("\ndef _f") == len(program.functions)
+        # Every function is addressable through the dispatch table.
+        for name in program.functions:
+            assert repr(name) in source
+
+    def test_source_compiles_clean(self):
+        source, _, _ = generate_module_source(
+            _fresh_program(), CELL_LIKE.cost
+        )
+        compile(source, "<test>", "exec")  # must not raise
+
+
+class TestStats:
+    def test_cold_run_translates_once(self):
+        program = _fresh_program()
+        machine = Machine(CELL_LIKE)
+        engine = CodegenInterpreter(program, machine, RunOptions())
+        engine.run()
+        stats = engine.codegen_stats
+        assert stats.translations == len(program.functions)
+        assert stats.exec_loads == 1
+        assert stats.as_dict()["codegen.translations"] == stats.translations
+
+    def test_second_engine_reuses_program_module(self):
+        program = _fresh_program()
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="codegen"))
+        engine = CodegenInterpreter(program, Machine(CELL_LIKE), RunOptions())
+        engine.run()
+        # The module travels with the program object: zero codegen and
+        # zero exec on any later engine instance.
+        assert engine.codegen_stats.translations == 0
+        assert engine.codegen_stats.exec_loads == 0
+
+    def test_clear_codegen_cache_forces_retranslation(self):
+        program = _fresh_program()
+        run_program(program, Machine(CELL_LIKE), RunOptions(engine="codegen"))
+        clear_codegen_cache(program)
+        engine = CodegenInterpreter(program, Machine(CELL_LIKE), RunOptions())
+        engine.run()
+        assert engine.codegen_stats.translations == len(program.functions)
+
+
+class TestWarmStarts:
+    def test_warm_translations_codegen_engine(self):
+        program = _fresh_program()
+        machine = Machine(CELL_LIKE)
+        first = warm_translations(program, machine, engine="codegen")
+        assert first == len(program.functions)
+        # Already warm: the module is cached on the program object.
+        assert warm_translations(program, machine, engine="codegen") == 0
+
+    def test_warm_translations_all_covers_both_engines(self):
+        program = _fresh_program()
+        machine = Machine(CELL_LIKE)
+        count = warm_translations(program, machine, engine="all")
+        assert count == 2 * len(program.functions)
+        assert warm_translations(program, machine, engine="all") == 0
+
+    def test_warm_translations_rejects_unknown_engine(self):
+        program = _fresh_program()
+        with pytest.raises(ValueError, match="warm_translations engine"):
+            warm_translations(program, Machine(CELL_LIKE), engine="jit")
+
+    def test_disk_cache_warm_start_performs_zero_codegen(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        cold = _fresh_program()
+        machine = Machine(CELL_LIKE)
+        assert (
+            warm_translations(cold, machine, engine="codegen", cache=cache)
+            > 0
+        )
+        key = codegen_cache_key(cold, CELL_LIKE.cost)
+        assert cache.load_text(key, kind=CODEGEN_KIND) is not None
+
+        # A fresh program object (fresh process, same compilation):
+        # the cached source is exec'd, the translator never runs.
+        warm = _fresh_program()
+        assert (
+            warm_translations(warm, machine, engine="codegen", cache=cache)
+            == 0
+        )
+        engine = CodegenInterpreter(warm, Machine(CELL_LIKE), RunOptions())
+        result = engine.run()
+        assert engine.codegen_stats.translations == 0
+        assert result.output == run_program(
+            _fresh_program(), Machine(CELL_LIKE), RunOptions(engine="reference")
+        ).output
+
+    def test_cached_source_round_trips_identically(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        program = _fresh_program()
+        key = codegen_cache_key(program, CELL_LIKE.cost)
+        source, _, _ = generate_module_source(program, CELL_LIKE.cost)
+        cache.store_text(key, source, kind=CODEGEN_KIND)
+        assert cache.load_text(key, kind=CODEGEN_KIND) == source
+        # And from a cold cache object (disk round trip).
+        reopened = CompileCache(str(tmp_path))
+        assert reopened.load_text(key, kind=CODEGEN_KIND) == source
+
+    def test_cache_keys_differ_per_program(self):
+        key_a = codegen_cache_key(_fresh_program(), CELL_LIKE.cost)
+        key_b = codegen_cache_key(
+            _fresh_program(figure1_source()), CELL_LIKE.cost
+        )
+        assert key_a != key_b
+
+
+class TestFallback:
+    def _add_unsupported_function(self, program):
+        program.functions["mystery"] = IRFunction(
+            name="mystery",
+            params=[],
+            num_regs=1,
+            code=[UnOp(op="bitrev", dst=0, a=0), Ret(src=0)],
+        )
+
+    def test_unsupported_function_falls_back(self):
+        program = _fresh_program()
+        self._add_unsupported_function(program)
+        source, generated, fallbacks = generate_module_source(
+            program, CELL_LIKE.cost
+        )
+        assert fallbacks == 1
+        assert generated == len(program.functions) - 1
+        assert "'mystery'" not in source
+
+    def test_program_with_fallback_still_runs(self):
+        program = _fresh_program()
+        self._add_unsupported_function(program)
+        ref = run_program(
+            _fresh_program(), Machine(CELL_LIKE), RunOptions(engine="reference")
+        )
+        result = run_program(
+            program, Machine(CELL_LIKE), RunOptions(engine="codegen")
+        )
+        assert result.output == ref.output
+        assert result.cycles == ref.cycles
+
+
+class TestDumpCodegen:
+    def test_dump_codegen_prints_module(self, tmp_path, capsys):
+        from repro.tools.run import main
+
+        source = tmp_path / "p.om"
+        source.write_text("void main() { print_int(3); }")
+        assert main([str(source), "--dump-codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "Generated by repro.vm.codegen" in out
+        assert "FUNCTIONS = {" in out

@@ -1,0 +1,124 @@
+"""Engine selection and validation: RunOptions / --engine / REPRO_VM_ENGINE.
+
+Unknown engine names must fail loudly at option-parse time with an
+error listing the known engines, not deep inside the VM; the env-var
+override goes through the same validation the first time an interpreter
+is built.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.driver import compile_program
+from repro.machine.config import CELL_LIKE
+from repro.machine.machine import Machine
+from repro.vm.codegen import CodegenInterpreter
+from repro.vm.compiled import CompiledInterpreter
+from repro.vm.interpreter import (
+    ENGINE_NAMES,
+    Interpreter,
+    RunOptions,
+    make_interpreter,
+    validate_engine,
+)
+
+
+@pytest.fixture()
+def program():
+    return compile_program("void main() { print_int(7); }", CELL_LIKE)
+
+
+class TestValidateEngine:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_known_engines_pass_through(self, engine):
+        assert validate_engine(engine) == engine
+
+    def test_unknown_engine_lists_known_ones(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_engine("jit", source="--engine")
+        message = str(excinfo.value)
+        assert "unknown execution engine 'jit'" in message
+        assert "--engine" in message
+        for engine in ENGINE_NAMES:
+            assert repr(engine) in message
+
+    def test_run_options_reject_unknown_engine_at_construction(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            RunOptions(engine="turbo")
+
+    def test_run_options_accept_none(self):
+        assert RunOptions().engine is None
+
+
+class TestSelection:
+    def test_each_name_selects_its_class(self, program):
+        machine = Machine(CELL_LIKE)
+        interp = make_interpreter(
+            program, machine, RunOptions(engine="reference")
+        )
+        assert type(interp) is Interpreter
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="compiled")
+        )
+        assert type(interp) is CompiledInterpreter
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="codegen")
+        )
+        assert type(interp) is CodegenInterpreter
+
+    def test_default_engine_is_compiled(self, program, monkeypatch):
+        monkeypatch.delenv("REPRO_VM_ENGINE", raising=False)
+        # DEFAULT_ENGINE is read at import time; None in RunOptions
+        # resolves through it.
+        interp = make_interpreter(program, Machine(CELL_LIKE), RunOptions())
+        assert isinstance(interp, CompiledInterpreter)
+
+    def test_env_override_selects_engine(self, program, monkeypatch):
+        import repro.vm.interpreter as interpreter_module
+
+        monkeypatch.setattr(
+            interpreter_module, "DEFAULT_ENGINE", "codegen"
+        )
+        interp = make_interpreter(program, Machine(CELL_LIKE), None)
+        assert type(interp) is CodegenInterpreter
+
+    def test_bad_env_override_fails_with_source(self, program, monkeypatch):
+        import repro.vm.interpreter as interpreter_module
+
+        monkeypatch.setattr(interpreter_module, "DEFAULT_ENGINE", "warp")
+        with pytest.raises(ValueError) as excinfo:
+            make_interpreter(program, Machine(CELL_LIKE), None)
+        message = str(excinfo.value)
+        assert "unknown execution engine 'warp'" in message
+        assert "REPRO_VM_ENGINE" in message
+
+    def test_explicit_options_beat_env_override(self, program, monkeypatch):
+        import repro.vm.interpreter as interpreter_module
+
+        monkeypatch.setattr(interpreter_module, "DEFAULT_ENGINE", "warp")
+        # An explicit engine never consults the (broken) default.
+        interp = make_interpreter(
+            program, Machine(CELL_LIKE), RunOptions(engine="reference")
+        )
+        assert type(interp) is Interpreter
+
+
+class TestCliSurface:
+    def test_run_tool_rejects_unknown_engine(self, tmp_path, capsys):
+        from repro.tools.run import main
+
+        source = tmp_path / "p.om"
+        source.write_text("void main() { print_int(1); }")
+        with pytest.raises(SystemExit):
+            main([str(source), "--engine", "jit"])
+        assert "--engine" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_run_tool_accepts_each_engine(self, tmp_path, capsys, engine):
+        from repro.tools.run import main
+
+        source = tmp_path / "p.om"
+        source.write_text("void main() { print_int(41); }")
+        assert main([str(source), "--engine", engine]) == 0
+        assert "41" in capsys.readouterr().out
