@@ -20,7 +20,12 @@ from repro.game.sources import (
     figure2_source,
     move_loop_source,
 )
-from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from repro.machine.config import (
+    CELL_LIKE,
+    SMP_UNIFORM,
+    TARGET_NAMES,
+    resolve_target,
+)
 
 from benchmarks.conftest import report, simulate
 
@@ -73,3 +78,32 @@ def test_e10_cost_structure_differs(benchmark):
     assert smp.perf().get("dma.gets", 0) == 0
     assert cell.perf().get("dispatch.domain_lookups", 0) > 0
     assert smp.perf().get("dispatch.domain_lookups", 0) == 0
+
+
+def test_e10_full_registry_matrix(benchmark):
+    """Every registered target — the original three plus the
+    unified-memory APU and the many-accelerator grid — runs the Figure 2
+    frame loop from the same source with identical output."""
+    source = WORKLOADS["figure2"]
+
+    def run_all():
+        return {
+            name: simulate(source, resolve_target(name))
+            for name in TARGET_NAMES
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [(f"{name} cycles", r.cycles) for name, r in results.items()]
+    rows.append(
+        (
+            "outputs equal",
+            len({tuple(r.printed) for r in results.values()}) == 1,
+        )
+    )
+    report("E10 full target matrix (figure2)", rows)
+    reference = results["cell"].printed
+    for name, result in results.items():
+        assert result.printed == reference, name
+    # Shared-memory targets move no DMA; distributed ones must.
+    assert results["apu"].perf().get("dma.gets", 0) == 0
+    assert results["manycore"].perf().get("dma.gets", 0) > 0

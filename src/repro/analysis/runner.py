@@ -20,7 +20,7 @@ from repro.analysis.annotations import report_for_program
 from repro.analysis.diagnostics import Finding, sort_findings
 from repro.ir.instructions import OffloadLaunch
 from repro.ir.module import IRProgram
-from repro.machine.config import MachineConfig
+from repro.machine.config import MachineConfig, resolve_target
 from repro.obs.trace import EV_ANALYSIS, NULL_RECORDER
 
 
@@ -74,7 +74,7 @@ class _Meter:
 
 def run_analyses(
     program: IRProgram,
-    config: MachineConfig,
+    config: "MachineConfig | str",
     *,
     info=None,
     file: str = "<input>",
@@ -82,11 +82,16 @@ def run_analyses(
 ) -> AnalysisResult:
     """Run every static analysis; returns sorted findings + timings.
 
-    ``info`` (a :class:`repro.lang.sema.SemanticInfo`) enables the
+    ``config`` — the machine the program targets (its local-store
+    capacity bounds the footprint analysis) — is a
+    :class:`MachineConfig` or a registered target name resolved through
+    :func:`repro.machine.config.resolve_target`.  ``info`` (a
+    :class:`repro.lang.sema.SemanticInfo`) enables the
     annotation-coverage analysis (``E-domain-missing``); IR-only callers
     may omit it.  ``trace`` receives ``analysis.span`` events stamped
     with wall-clock microseconds, like compile-pass spans.
     """
+    config = resolve_target(config, source="run_analyses")
     result = AnalysisResult()
     meter = _Meter(result, trace)
     findings = result.findings

@@ -43,7 +43,7 @@ from repro.ir.serialize import (
     to_canonical_json,
 )
 from repro.lang.source import source_fingerprint
-from repro.machine.config import MachineConfig
+from repro.machine.config import MachineConfig, resolve_target
 
 if TYPE_CHECKING:
     from repro.compiler.driver import CompileOptions
@@ -54,15 +54,20 @@ CACHE_ENV_VAR = "REPRO_COMPILE_CACHE"
 
 
 def compile_cache_key(
-    source: str, config: MachineConfig, options: "CompileOptions"
+    source: str, config: "MachineConfig | str", options: "CompileOptions"
 ) -> str:
     """The content address of one compilation.
 
+    ``config`` is a :class:`MachineConfig` or a registered target name
+    (resolved through :func:`repro.machine.config.resolve_target`).
     Two calls share a key exactly when nothing that can influence the
     generated artifact differs: same (fingerprinted) source text, same
-    target machine description down to individual cycle costs, same
-    compiler options, same artifact format version.
+    target machine description down to individual cycle costs and
+    scheduler parameters (every ``MachineConfig`` field is hashed, so
+    distinct registry targets can never collide in one cache
+    directory), same compiler options, same artifact format version.
     """
+    config = resolve_target(config, source="compile_cache_key")
     material = to_canonical_json(
         {
             "artifact_version": ARTIFACT_VERSION,

@@ -21,7 +21,7 @@ from repro.lang.parser import parse_program
 from repro.lang.sema import SemanticInfo, analyze
 from repro.lang.types import ClassType
 from repro.ir.module import IRProgram
-from repro.machine.config import MachineConfig
+from repro.machine.config import MachineConfig, resolve_target
 from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.compiler.layout import LayoutResult, compute_layout
 from repro.compiler.lower import FunctionLowerer, OffloadEntryLowerer
@@ -180,17 +180,24 @@ class Compiler:
 
 def compile_program(
     source: str,
-    config: MachineConfig,
+    config: "MachineConfig | str",
     options: Optional[CompileOptions] = None,
     filename: str = "<input>",
     cache: Optional["CompileCache"] = None,
 ) -> IRProgram:
     """Compile OffloadMini source text for a target machine.
 
+    ``config`` is a :class:`MachineConfig` or a registered target name
+    (``"cell"``, ``"apu"``, ... — resolved through
+    :func:`repro.machine.config.resolve_target`, unknown names rejected
+    with the known-name list before any compilation work happens).
+
     When a compile cache is available — passed explicitly, or activated
     process-wide by pointing ``REPRO_COMPILE_CACHE`` at a directory —
     the (source, target config, options) triple is hashed and a stored
     artifact is deserialized instead of re-running the pass pipeline.
+    The resolved target config — cost model included — is part of the
+    key, so one cache directory serves every target without collisions.
     Cached or fresh, the returned program is a freshly built object
     graph, never shared with earlier calls.
 
@@ -200,6 +207,7 @@ def compile_program(
     from repro.compiler.cache import compile_cache_key, resolve_cache
     from repro.compiler.passes import PassManager
 
+    config = resolve_target(config, source="compile_program")
     options = options or CompileOptions()
     cache = resolve_cache(cache)
     key = None

@@ -14,11 +14,19 @@ reproducible.
 """
 
 from repro.machine.config import (
+    APU_UNIFIED,
     CELL_LIKE,
     DSP_WORD,
+    MANYCORE_GRID,
     SMP_UNIFORM,
+    TARGET_NAMES,
     CostModel,
     MachineConfig,
+    default_target,
+    register_target,
+    resolve_target,
+    target_names,
+    validate_target,
 )
 from repro.machine.clock import CoreClock
 from repro.machine.dma import DmaEngine, DmaRequest
@@ -28,6 +36,7 @@ from repro.machine.machine import Machine
 from repro.machine.perf import PerfCounters
 
 __all__ = [
+    "APU_UNIFIED",
     "AcceleratorCore",
     "CELL_LIKE",
     "Core",
@@ -37,9 +46,16 @@ __all__ = [
     "DmaEngine",
     "DmaRequest",
     "HostCore",
+    "MANYCORE_GRID",
     "Machine",
     "MachineConfig",
     "MemorySpace",
     "PerfCounters",
     "SMP_UNIFORM",
+    "TARGET_NAMES",
+    "default_target",
+    "register_target",
+    "resolve_target",
+    "target_names",
+    "validate_target",
 ]

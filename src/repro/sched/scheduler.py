@@ -52,10 +52,6 @@ from repro.sched.policy import (
 #: Track name of the scheduler lane in trace exports.
 SCHED_TRACK = "sched"
 
-#: Simulated bytes per IR instruction in an uploaded code image (the
-#: same figure the demand-loading path uses).
-CODE_BYTES_PER_INSTR = 4
-
 #: Static body-duration estimate: cycles charged per reachable IR
 #: instruction when no profile is available.  Deliberately coarse — the
 #: estimate only has to *rank* jobs, not predict them.
@@ -69,7 +65,11 @@ class SchedOptions:
     Attributes:
         policy: One of :data:`repro.sched.policy.POLICY_NAMES`.
         queue_depth: Per-accelerator ready-queue bound; ``0`` means
-            unbounded (no admission control).
+            unbounded (no admission control).  ``None`` (the default)
+            picks the target's own bound
+            (:attr:`repro.machine.config.MachineConfig.sched_queue_depth`
+            — 0 everywhere except the many-core grid, whose tiny job
+            slots bound it at 2).
         admission: What a full queue does to the host: ``"stall"``
             blocks the host clock until a slot frees (backpressure),
             ``"trap"`` raises :class:`repro.errors.RuntimeTrap`.
@@ -82,7 +82,7 @@ class SchedOptions:
     """
 
     policy: str = "greedy"
-    queue_depth: int = 0
+    queue_depth: Optional[int] = None
     admission: str = "stall"
     model_uploads: bool = True
     profile: Optional[Mapping[int, int]] = None
@@ -93,7 +93,7 @@ class SchedOptions:
                 f"unknown scheduling policy {self.policy!r}; choose one "
                 f"of {', '.join(POLICY_NAMES)}"
             )
-        if self.queue_depth < 0:
+        if self.queue_depth is not None and self.queue_depth < 0:
             raise ValueError(
                 f"queue_depth must be >= 0, got {self.queue_depth}"
             )
@@ -202,12 +202,22 @@ class OffloadScheduler:
             options.policy if options else "greedy"
         )
         count = len(machine.accelerators)
+        #: Resolved ready-queue bound: an explicit
+        #: ``SchedOptions.queue_depth`` wins, else the target's own
+        #: ``sched_queue_depth``; always 0 (unbounded) in compat mode.
+        self.queue_depth = 0
+        if options is not None:
+            self.queue_depth = (
+                options.queue_depth
+                if options.queue_depth is not None
+                else machine.config.sched_queue_depth
+            )
         #: Cycle at which each accelerator frees up.  The interpreter
         #: aliases this list as ``_accel_available``.
         self.available: list[int] = [0] * count
         self.stats = SchedStats(
             policy=self.policy.name,
-            queue_depth=options.queue_depth if options else 0,
+            queue_depth=self.queue_depth,
             accels=[AccelStats() for _ in range(count)],
         )
         self._trace = trace
@@ -229,7 +239,7 @@ class OffloadScheduler:
 
         meta = self.program.offload_meta[offload_id]
         names = reachable_functions(self.program, meta)
-        return CODE_BYTES_PER_INSTR * sum(
+        return self.machine.config.code_bytes_per_instr * sum(
             len(self.program.functions[name].code)
             for name in names
             if name in self.program.functions
@@ -326,7 +336,7 @@ class OffloadScheduler:
                 spawn_cost=self.machine.config.cost.thread_spawn,
             )
             index = self.policy.choose(view)
-        depth = self.options.queue_depth if self.enabled else 0
+        depth = self.queue_depth
         if depth > 0:
             queued = self._queued(index, ctx.now)
             if len(queued) >= depth:

@@ -17,13 +17,16 @@ Usage::
     PYTHONPATH=src python -m repro.tools.bench [--out BENCH_vm.json]
         [--repeats 3] [--quick] [--trace FILE]
         [--trace-format chrome|timeline|profile] [--policy NAME]
+        [--target NAME ...]
 
 The headline numbers are on the Figure 2 game-frame workload: the
 acceptance target is >= 3x for the compiled engine and >= 7x (aim 10x)
 for the codegen engine over the reference.  The report also carries a
 ``scheduler`` section: simulated game-frame cycles under every
 scheduling policy, with the locality-vs-greedy ratio the CI sched job
-gates on.
+gates on — and a ``targets`` section: the same game frame on each
+``--target`` (default cell, apu, manycore), with simulated cycles, DMA
+bytes moved, scheduler stall cycles and cold code uploads per target.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ import time
 from repro.compiler.cache import CACHE_ENV_VAR, CompileCache, compile_cache_key
 from repro.compiler.driver import CompileOptions, compile_program
 from repro.ir.serialize import program_to_json
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import resolve_target, target_names
 from repro.machine.machine import Machine
 from repro.game.sources import (
     ai_kernel_source,
@@ -53,10 +56,13 @@ from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.compiled import warm_translations
 from repro.vm.interpreter import RunOptions, run_program
 
-CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
-
 #: The engines the workload matrix times, reference first.
 BENCH_ENGINES = ("reference", "compiled", "codegen")
+
+#: Default targets for the per-target game-frame portability section:
+#: the paper's distributed-memory machine plus the two registry presets
+#: whose cost structures bracket it (unified memory / many accelerators).
+BENCH_TARGETS = ("cell", "apu", "manycore")
 
 
 def workloads(quick: bool) -> list[dict]:
@@ -135,7 +141,7 @@ def _time_run(program, config, engine: str, sched=None) -> tuple[float, object]:
 
 
 def bench_workload(spec: dict, repeats: int, sched=None) -> dict:
-    config = CONFIGS[spec["config"]]
+    config = resolve_target(spec["config"])
     program = compile_program(spec["source"], config, spec["options"])
 
     # Pay each engine's one-time translation cost up front, timed
@@ -203,7 +209,7 @@ def bench_scheduler(quick: bool) -> dict:
     source = figure2_source(
         entity_count=48 * scale, pair_count=32 * scale, frames=8
     )
-    config = CELL_LIKE
+    config = resolve_target("cell")
     program = compile_program(source, config, CompileOptions())
     policies = {}
     for policy in POLICY_NAMES:
@@ -224,6 +230,47 @@ def bench_scheduler(quick: bool) -> dict:
     }
 
 
+def bench_targets(quick: bool, targets) -> dict:
+    """The same game frame on every requested target, one row each.
+
+    This is the portability-matrix view of the benchmark: one source,
+    compiled per target through the registry, run on the compiled
+    engine under the locality policy (per-target queue depths and
+    upload costs bind).  Rows report the quantities the presets differ
+    on — simulated cycles, DMA bytes moved, scheduler stall cycles and
+    cold code uploads — so the cost-structure story (apu moves no DMA,
+    manycore pays uploads and backpressure) is visible in the report.
+    """
+    scale = 1 if quick else 2
+    source = figure2_source(
+        entity_count=48 * scale, pair_count=32 * scale, frames=4
+    )
+    rows = {}
+    for name in targets:
+        config = resolve_target(name)
+        program = compile_program(source, config, CompileOptions())
+        _, result = _time_run(
+            program, config, "compiled", SchedOptions(policy="locality")
+        )
+        perf = result.machine.perf.as_dict()
+        rows[name] = {
+            "config": config.name,
+            "accelerators": config.num_accelerators,
+            "simulated_cycles": result.cycles,
+            "dma_bytes": perf.get("dma.bytes_get", 0)
+            + perf.get("dma.bytes_put", 0),
+            "stall_cycles": perf.get("sched.stall_cycles", 0),
+            "uploads": perf.get("sched.uploads", 0),
+            "upload_bytes": perf.get("sched.upload_bytes", 0),
+        }
+    return {
+        "workload": "game-frame",
+        "frames": 4,
+        "policy": "locality",
+        "targets": rows,
+    }
+
+
 def bench_compile_cache(repeats: int) -> dict:
     """Cold vs warm ``compile_program`` on the Figure 2 game-frame program.
 
@@ -233,7 +280,7 @@ def bench_compile_cache(repeats: int) -> dict:
     artifact.
     """
     source = figure2_source()
-    config = CELL_LIKE
+    config = resolve_target("cell")
     options = CompileOptions()
     # Single compiles are milliseconds; take the min over a few extra
     # reps so one scheduler hiccup doesn't skew the reported ratio.
@@ -318,6 +365,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the whole workload matrix under this scheduling "
              "policy (default: compat mode, no explicit scheduling)",
     )
+    parser.add_argument(
+        "--target", action="append", choices=list(target_names()),
+        default=None, dest="targets", metavar="NAME",
+        help="target(s) for the per-target game-frame section; repeat "
+             f"to add more (default: {', '.join(BENCH_TARGETS)})",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else max(1, args.repeats)
     matrix_sched = (
@@ -344,7 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         headline_spec = next(
             s for s in workloads(args.quick) if s["name"] == "game-frame"
         )
-        config = CONFIGS[headline_spec["config"]]
+        config = resolve_target(headline_spec["config"])
         program = compile_program(
             headline_spec["source"], config, headline_spec["options"]
         )
@@ -366,6 +419,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{'sched locality/greedy':24s} "
         f"{scheduler['locality_vs_greedy']:.6f}"
     )
+
+    target_matrix = bench_targets(args.quick, args.targets or BENCH_TARGETS)
+    for name, row in target_matrix["targets"].items():
+        print(
+            f"{'target/' + name:24s} {row['simulated_cycles']:>12} "
+            f"simulated cycles  dma-bytes {row['dma_bytes']:>8}  "
+            f"stall-cyc {row['stall_cycles']:>8}  "
+            f"uploads {row['uploads']:3d}"
+        )
 
     compile_cache = bench_compile_cache(repeats)
     cache_status = "ok" if compile_cache["artifact_identical"] else "MISMATCH"
@@ -393,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "policy": args.policy or "compat",
         "workloads": results,
         "scheduler": scheduler,
+        "targets": target_matrix,
         "compile_cache": compile_cache,
         "summary": {
             "geomean_speedup": round(geomean, 3),

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.tools.check program.om [more.om ...]
-        [--target cell|smp|dsp] [--format text|json|sarif]
+        [--target cell|smp|dsp|apu|manycore] [--format text|json|sarif]
         [--fail-on error|warning] [--baseline FILE | --write-baseline FILE]
         [--corpus game] [--out FILE] [--time-passes] [--trace FILE]
 
@@ -46,10 +46,8 @@ from repro.analysis.runner import format_analysis_timings
 from repro.compiler.driver import CompileOptions
 from repro.compiler.passes import PassManager, format_timings
 from repro.errors import CompileError
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import default_target, resolve_target, target_names
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
-
-TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
 
 _EXIT_CONTRACT = """\
 exit status:
@@ -93,8 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sources", nargs="*", help="OffloadMini source file(s)"
     )
     parser.add_argument(
-        "--target", choices=sorted(TARGETS), default="cell",
-        help="machine configuration (default: cell)",
+        "--target", choices=list(target_names()), default=default_target(),
+        help="registered machine target (default: cell, or REPRO_TARGET)",
     )
     parser.add_argument(
         "--corpus", choices=("game",),
@@ -160,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
 
-    config = TARGETS[args.target]
+    config = resolve_target(args.target)
     recorder = TraceRecorder() if args.trace else NULL_RECORDER
     options = CompileOptions(analyze=True)
     findings = []

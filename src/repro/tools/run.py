@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.tools.run program.om [--target cell|smp|dsp]
+    python -m repro.tools.run program.om [--target cell|smp|dsp|apu|manycore]
         [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
         [--wordaddr hybrid|emulate] [--dump-ir] [--perf] [--record-races]
         [--engine compiled|codegen|reference] [--dump-codegen]
@@ -30,7 +30,7 @@ from repro.compiler.passes import DEFAULT_PASS_NAMES, PassManager, format_timing
 from repro.errors import CompileError, ReproError
 from repro.ir.printer import format_program
 from repro.ir.serialize import ArtifactError, load_program, save_program
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import default_target, resolve_target, target_names
 from repro.machine.machine import Machine
 from repro.obs import (
     TraceRecorder,
@@ -43,8 +43,6 @@ from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.interpreter import ENGINE_NAMES, RunOptions, run_program
 
-TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
-
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -54,8 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
         "source", help="OffloadMini source file (or .json program artifact)"
     )
     parser.add_argument(
-        "--target", choices=sorted(TARGETS), default="cell",
-        help="machine configuration (default: cell)",
+        "--target", choices=list(target_names()), default=default_target(),
+        help="registered machine target (default: cell, or REPRO_TARGET)",
     )
     parser.add_argument("--optimize", action="store_true",
                         help="run the IR optimiser")
@@ -113,10 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
              "upload modelling, sched.* trace events, utilization summary)",
     )
     parser.add_argument(
-        "--queue-depth", type=int, default=0, metavar="N",
+        "--queue-depth", type=int, default=None, metavar="N",
         help="bound each accelerator's ready queue at N jobs (0 = "
-             "unbounded); a full queue stalls the host (backpressure). "
-             "Implies --policy greedy when no policy is given",
+             "unbounded; default: the target's sched_queue_depth); a "
+             "full queue stalls the host (backpressure). Implies "
+             "--policy greedy when no policy is given",
     )
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -164,7 +163,7 @@ def _compile(args, source: str):
         optimize=args.optimize,
         demand_load=args.demand_load,
     )
-    config = TARGETS[args.target]
+    config = resolve_target(args.target)
     if args.dump_after is not None or args.time_passes:
         # Debugging hooks need the pass pipeline itself; bypass the
         # compile cache so every pass actually runs and is timed.
@@ -192,7 +191,7 @@ def _compile(args, source: str):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    config = TARGETS[args.target]
+    config = resolve_target(args.target)
     if args.source.endswith(".json"):
         try:
             program = load_program(args.source)
@@ -200,11 +199,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
         if program.target_name != config.name:
-            for name, target in TARGETS.items():
-                if target.name == program.target_name:
-                    config = target
-                    break
-            else:
+            try:
+                config = resolve_target(
+                    program.target_name, source="artifact target_name"
+                )
+            except ValueError:
                 print(
                     f"error: artifact targets unknown machine "
                     f"{program.target_name!r}",

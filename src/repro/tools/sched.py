@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.tools.sched [program.om | --corpus figure2|game-demo]
-        [--target cell|smp|dsp] [--policy NAME] [--queue-depth N]
+        [--target cell|smp|dsp|apu|manycore] [--policy NAME] [--queue-depth N]
         [--admission stall|trap] [--engine compiled|reference]
         [--frames N] [--trace FILE] [--trace-format chrome|timeline]
         [--json] [--require locality<greedy]
@@ -30,13 +30,11 @@ import sys
 from repro.compiler.driver import CompileOptions, compile_program
 from repro.errors import CompileError, ReproError
 from repro.game.sources import figure2_source, game_demo_source
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import default_target, resolve_target, target_names
 from repro.machine.machine import Machine
 from repro.obs import TraceRecorder
 from repro.sched import POLICY_NAMES, SchedOptions
 from repro.vm.interpreter import RunOptions, run_program
-
-TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
 
 CORPUS = {
     "figure2": lambda frames: figure2_source(
@@ -65,16 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="frame count for --corpus workloads (default: 8)",
     )
     parser.add_argument(
-        "--target", choices=sorted(TARGETS), default="cell",
-        help="machine configuration (default: cell)",
+        "--target", choices=list(target_names()), default=default_target(),
+        help="registered machine target (default: cell, or REPRO_TARGET)",
     )
     parser.add_argument(
         "--policy", choices=list(POLICY_NAMES), default=None,
         help="run one policy (default: compare all)",
     )
     parser.add_argument(
-        "--queue-depth", type=int, default=0, metavar="N",
-        help="per-accelerator ready-queue bound (0 = unbounded)",
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="per-accelerator ready-queue bound (0 = unbounded; "
+             "default: the target's sched_queue_depth)",
     )
     parser.add_argument(
         "--admission", choices=["stall", "trap"], default="stall",
@@ -174,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
     source = _load_source(args)
     if source is None:
         return 1
-    config = TARGETS[args.target]
+    config = resolve_target(args.target)
     try:
         program = compile_program(source, config, CompileOptions())
     except CompileError as error:

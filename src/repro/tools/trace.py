@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.tools.trace program.om [--target cell|smp|dsp]
+    python -m repro.tools.trace program.om [--target cell|smp|dsp|apu|manycore]
         [--optimize] [--demand-load] [--cache none|direct|setassoc|victim]
         [--wordaddr hybrid|emulate] [--engine compiled|reference]
         [--format chrome|timeline|profile] [--out FILE]
@@ -34,7 +34,7 @@ import sys
 from repro.compiler.driver import CompileOptions
 from repro.compiler.passes import PassManager
 from repro.errors import CompileError, ReproError
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import default_target, resolve_target, target_names
 from repro.machine.machine import Machine
 from repro.obs import (
     NULL_RECORDER,
@@ -46,8 +46,6 @@ from repro.obs import (
     validate_chrome_trace,
 )
 from repro.vm.interpreter import RunOptions, run_program
-
-TARGETS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,8 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an exported Chrome trace JSON file and exit",
     )
     parser.add_argument(
-        "--target", choices=sorted(TARGETS), default="cell",
-        help="machine configuration (default: cell)",
+        "--target", choices=list(target_names()), default=default_target(),
+        help="registered machine target (default: cell, or REPRO_TARGET)",
     )
     parser.add_argument("--optimize", action="store_true",
                         help="run the IR optimiser")
@@ -145,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         capacity=args.capacity,
         frame_marker=args.frame_marker or None,
     )
-    config = TARGETS[args.target]
+    config = resolve_target(args.target)
     options = CompileOptions(
         wordaddr_mode=args.wordaddr,
         default_cache=args.cache,

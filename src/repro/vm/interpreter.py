@@ -45,6 +45,7 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.ir.module import IRFunction, IRProgram
+from repro.machine.config import MachineConfig, resolve_target
 from repro.machine.cores import AcceleratorCore
 from repro.machine.dma import NUM_TAGS
 from repro.machine.machine import Machine
@@ -150,6 +151,14 @@ class RunOptions:
             ``sched.*`` trace lane.  ``None`` (the default) is compat
             mode — greedy placement with cycle- and trace-identical
             behaviour to the scheduler-less VM.
+        target: Machine to build when :func:`run_program` is called
+            without one — a registered target name
+            (:func:`repro.machine.config.resolve_target`) or a
+            :class:`~repro.machine.config.MachineConfig`.  Unknown
+            names are rejected at construction time with the known-name
+            list, like ``engine``.  ``None`` falls back to the
+            program's own ``target_name``.  Ignored when the caller
+            supplies a machine.
     """
 
     racecheck: Optional[str] = "raise"
@@ -157,10 +166,13 @@ class RunOptions:
     max_instructions: int = 200_000_000
     engine: Optional[str] = None
     sched: Optional[SchedOptions] = None
+    target: "Optional[str | MachineConfig]" = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
             validate_engine(self.engine, source="RunOptions.engine")
+        if self.target is not None:
+            resolve_target(self.target, source="RunOptions.target")
 
 
 @dataclass
@@ -749,7 +761,7 @@ class Interpreter:
             return
         self._resident_code.add(key)
         cost = core.cost
-        code_bytes = 4 * len(callee.code)  # one simulated word per instr
+        code_bytes = self.machine.config.code_bytes_per_instr * len(callee.code)
         transfer = -(-code_bytes // cost.dma_bytes_per_cycle)
         start = ctx.now
         ctx.now += cost.dma_setup + cost.dma_latency + transfer
@@ -984,9 +996,22 @@ def make_interpreter(
 
 def run_program(
     program: IRProgram,
-    machine: Machine,
+    machine: Optional[Machine] = None,
     options: Optional[RunOptions] = None,
     entry: Optional[str] = None,
 ) -> RunResult:
-    """Convenience wrapper: execute ``program`` on ``machine``."""
+    """Convenience wrapper: execute ``program`` on ``machine``.
+
+    Without a machine, one is built from the target registry:
+    ``options.target`` when set, else the target the program was
+    compiled for (``program.target_name``, which artifacts record and
+    :func:`repro.machine.config.resolve_target` maps back to a config).
+    """
+    if machine is None:
+        target = options.target if options is not None else None
+        source = "RunOptions.target"
+        if target is None:
+            target = program.target_name or "cell"
+            source = "program.target_name"
+        machine = Machine(resolve_target(target, source=source))
     return make_interpreter(program, machine, options).run(entry)

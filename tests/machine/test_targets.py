@@ -1,0 +1,221 @@
+"""The target registry: resolution, validation, registration, env
+override, and its integration points (RunOptions, run_program,
+compile_program, the compile-cache key)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.cache import compile_cache_key
+from repro.compiler.driver import CompileOptions, compile_program
+from repro.machine import config as config_mod
+from repro.machine.config import (
+    APU_UNIFIED,
+    CELL_LIKE,
+    DSP_WORD,
+    MANYCORE_GRID,
+    SMP_UNIFORM,
+    TARGET_ENV_VAR,
+    MachineConfig,
+    default_target,
+    register_target,
+    resolve_target,
+    target_names,
+    validate_target,
+)
+from repro.machine.machine import Machine
+from repro.vm.interpreter import RunOptions, run_program
+
+SOURCE = "void main() { print_int(6 * 7); }"
+
+
+@pytest.fixture
+def registry_snapshot():
+    """Restore the module-level registry after a test mutates it."""
+    saved_registry = dict(config_mod._REGISTRY)
+    saved_aliases = dict(config_mod._ALIASES)
+    saved_names = config_mod.TARGET_NAMES
+    yield
+    config_mod._REGISTRY.clear()
+    config_mod._REGISTRY.update(saved_registry)
+    config_mod._ALIASES.clear()
+    config_mod._ALIASES.update(saved_aliases)
+    config_mod.TARGET_NAMES = saved_names
+
+
+class TestResolution:
+    def test_five_presets_registered_in_order(self):
+        assert target_names() == ("cell", "smp", "dsp", "apu", "manycore")
+
+    @pytest.mark.parametrize(
+        "name, config",
+        [
+            ("cell", CELL_LIKE),
+            ("smp", SMP_UNIFORM),
+            ("dsp", DSP_WORD),
+            ("apu", APU_UNIFIED),
+            ("manycore", MANYCORE_GRID),
+        ],
+    )
+    def test_short_names_resolve(self, name, config):
+        assert resolve_target(name) is config
+
+    def test_display_names_resolve_as_aliases(self):
+        """Artifact ``target_name`` values round-trip to their configs."""
+        for name in target_names():
+            config = resolve_target(name)
+            assert resolve_target(config.name) is config
+
+    def test_config_passthrough(self):
+        custom = CELL_LIKE.with_(num_accelerators=2)
+        assert resolve_target(custom) is custom
+
+    def test_unknown_name_lists_known_targets(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_target("spe", source="--target")
+        message = str(excinfo.value)
+        assert "unknown target 'spe'" in message
+        assert "--target" in message
+        for name in target_names():
+            assert repr(name) in message
+
+    def test_validate_target_accepts_aliases(self):
+        assert validate_target("manycore-grid") == "manycore-grid"
+        with pytest.raises(ValueError, match="unknown target"):
+            validate_target("")
+
+
+class TestRegistration:
+    def test_register_new_target(self, registry_snapshot):
+        custom = CELL_LIKE.with_(name="cell-tiny", num_accelerators=1)
+        register_target("tiny", custom)
+        assert "tiny" in target_names()
+        assert resolve_target("tiny") is custom
+        assert resolve_target("cell-tiny") is custom  # display-name alias
+
+    def test_duplicate_name_rejected_without_replace(self, registry_snapshot):
+        with pytest.raises(ValueError, match="already registered"):
+            register_target("cell", SMP_UNIFORM)
+        replaced = CELL_LIKE.with_(num_accelerators=2)
+        register_target("cell", replaced, replace=True)
+        assert resolve_target("cell") is replaced
+
+    def test_registered_target_reaches_the_simulator(self, registry_snapshot):
+        custom = CELL_LIKE.with_(name="cell-duo", num_accelerators=2)
+        register_target("duo", custom)
+        program = compile_program(SOURCE, "duo")
+        assert program.target_name == "cell-duo"
+        result = run_program(program)
+        assert result.printed == [42]
+        assert result.machine.config is custom
+
+
+class TestDefaultTarget:
+    def test_defaults_to_cell(self, monkeypatch):
+        monkeypatch.delenv(TARGET_ENV_VAR, raising=False)
+        assert default_target() == "cell"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TARGET_ENV_VAR, "manycore")
+        assert default_target() == "manycore"
+
+    def test_env_typo_fails_with_known_names(self, monkeypatch):
+        monkeypatch.setenv(TARGET_ENV_VAR, "mancore")
+        with pytest.raises(ValueError, match="known targets"):
+            default_target()
+
+
+class TestRunOptionsTarget:
+    def test_unknown_target_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="RunOptions.target"):
+            RunOptions(target="spe")
+
+    def test_target_name_selects_machine(self):
+        program = compile_program(SOURCE, "apu")
+        result = run_program(program, options=RunOptions(target="apu"))
+        assert result.machine.config is APU_UNIFIED
+
+    def test_target_config_selects_machine(self):
+        custom = SMP_UNIFORM.with_(num_accelerators=3)
+        program = compile_program(SOURCE, custom)
+        result = run_program(program, options=RunOptions(target=custom))
+        assert result.machine.config is custom
+
+    def test_mismatched_target_still_caught(self):
+        """Programs are lowered per target; picking a different machine
+        via RunOptions.target keeps tripping the interpreter's guard."""
+        from repro.errors import MachineError
+
+        program = compile_program(SOURCE, CELL_LIKE)
+        with pytest.raises(MachineError, match="cannot run"):
+            run_program(program, options=RunOptions(target="apu"))
+
+    def test_explicit_machine_wins_over_options_target(self):
+        program = compile_program(SOURCE, DSP_WORD)
+        machine = Machine(DSP_WORD)
+        result = run_program(program, machine, RunOptions(target="apu"))
+        assert result.machine is machine
+
+    def test_program_target_name_is_the_fallback(self):
+        """No machine, no options.target: the artifact's own target
+        (a display name) resolves through the registry."""
+        program = compile_program(SOURCE, MANYCORE_GRID)
+        assert program.target_name == "manycore-grid"
+        result = run_program(program)
+        assert result.machine.config is MANYCORE_GRID
+
+
+class TestCompileByName:
+    def test_compile_program_accepts_target_names(self):
+        by_name = compile_program(SOURCE, "dsp")
+        by_config = compile_program(SOURCE, DSP_WORD)
+        assert by_name.target_name == by_config.target_name == "dsp-word"
+
+    def test_unknown_compile_target_rejected(self):
+        with pytest.raises(ValueError, match="compile_program"):
+            compile_program(SOURCE, "spe")
+
+    def test_cache_keys_distinct_per_target(self):
+        options = CompileOptions()
+        keys = {
+            compile_cache_key(SOURCE, name, options)
+            for name in target_names()
+        }
+        assert len(keys) == len(target_names())
+
+    def test_cache_key_name_and_config_agree(self):
+        options = CompileOptions()
+        assert compile_cache_key(SOURCE, "apu", options) == compile_cache_key(
+            SOURCE, APU_UNIFIED, options
+        )
+
+
+class TestPresetShapes:
+    """The properties the preset cost stories rely on."""
+
+    def test_apu_is_unified_memory(self):
+        assert APU_UNIFIED.shared_memory
+        assert APU_UNIFIED.local_store_size == 0
+        assert APU_UNIFIED.cost.host_mem_access < CELL_LIKE.cost.host_mem_access
+
+    def test_apu_builds_no_local_stores_or_dma(self):
+        machine = Machine(APU_UNIFIED)
+        for core in machine.accelerators:
+            assert core.local_store is None
+            assert core.dma is None
+
+    def test_manycore_binds_the_scheduler(self):
+        assert MANYCORE_GRID.num_accelerators >= 16
+        assert MANYCORE_GRID.local_store_size == 64 * 1024
+        assert MANYCORE_GRID.shared_interconnect
+        assert MANYCORE_GRID.sched_queue_depth > 0
+        assert (
+            MANYCORE_GRID.code_bytes_per_instr
+            > CELL_LIKE.code_bytes_per_instr
+        )
+
+    def test_machine_builds_for_every_target(self):
+        for name in target_names():
+            config = resolve_target(name)
+            machine = Machine(config)
+            assert len(machine.accelerators) == config.num_accelerators

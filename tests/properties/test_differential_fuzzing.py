@@ -5,11 +5,10 @@ programs (arithmetic, loops, conditionals, global arrays, optionally an
 offload block around part of the computation).  Each program is
 compiled and run:
 
-* on the Cell-like machine,
-* on the shared-memory machine,
+* on every registered target (cell, smp, dsp, apu, manycore),
 * with and without the optimiser,
 
-and all four executions must print identical values.  Any divergence is
+and all executions must print identical values.  Any divergence is
 a real compiler/runtime bug.
 """
 
@@ -20,7 +19,7 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler.driver import CompileOptions, compile_program
-from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from repro.machine.config import CELL_LIKE, TARGET_NAMES, resolve_target
 from repro.machine.machine import Machine
 from repro.obs import TraceRecorder, chrome_trace_json
 from repro.vm.interpreter import ENGINE_NAMES, RunOptions, run_program
@@ -116,7 +115,8 @@ void main() {{
 
 def _run_everywhere(source: str) -> list[list[object]]:
     outputs = []
-    for config in (CELL_LIKE, SMP_UNIFORM):
+    for name in TARGET_NAMES:
+        config = resolve_target(name)
         for optimize in (False, True):
             program = compile_program(
                 source, config, CompileOptions(optimize=optimize)
@@ -144,19 +144,22 @@ def test_all_targets_and_optimiser_settings_agree(seed, statements, offloaded):
     seed=st.integers(min_value=0, max_value=10_000),
     offloaded=st.booleans(),
     optimize=st.booleans(),
+    target=st.sampled_from(TARGET_NAMES),
 )
 @settings(max_examples=25, deadline=None)
-def test_three_engines_agree(seed, offloaded, optimize):
+def test_three_engines_agree(seed, offloaded, optimize, target):
     """Reference, compiled and codegen engines observe identical
     results — output, cycles, perf counters, and the exported trace
-    down to the byte — on generated programs."""
+    down to the byte — on generated programs, on every target the
+    registry knows."""
+    config = resolve_target(target)
     source = ProgramBuilder(random.Random(seed), offloaded).build(4)
     program = compile_program(
-        source, CELL_LIKE, CompileOptions(optimize=optimize)
+        source, config, CompileOptions(optimize=optimize)
     )
     observations = []
     for engine in ENGINE_NAMES:
-        machine = Machine(CELL_LIKE)
+        machine = Machine(config)
         recorder = TraceRecorder(capacity=1 << 16)
         machine.attach_trace(recorder)
         result = run_program(

@@ -7,7 +7,7 @@ import pytest
 
 from repro.compiler.driver import compile_program
 from repro.game.sources import figure2_source, game_demo_source
-from repro.machine.config import CELL_LIKE, SMP_UNIFORM
+from repro.machine.config import APU_UNIFIED, CELL_LIKE, MANYCORE_GRID, SMP_UNIFORM
 from repro.machine.machine import Machine
 from repro.obs import TraceRecorder
 from repro.sched import POLICY_NAMES, SchedOptions, make_policy
@@ -168,6 +168,56 @@ class TestLocalityWins:
             ).cycles
 
         assert run("greedy") == run("locality")
+
+
+class TestTargetParameters:
+    """Per-target scheduler parameters from the registry presets."""
+
+    def _run(self, config, frames=8, **sched_kwargs):
+        program = compile_program(
+            figure2_source(entity_count=24, pair_count=16, frames=frames),
+            config,
+        )
+        return run_program(
+            program, Machine(config),
+            RunOptions(sched=SchedOptions(**sched_kwargs)),
+        )
+
+    def test_locality_beats_greedy_on_manycore(self):
+        """With 24 cores, uncompressed code images and a slow shared
+        grid, rotating placement re-uploads every frame; the warm-core
+        policy pays once.  This is the CI gate for the preset."""
+        greedy = self._run(MANYCORE_GRID, policy="greedy")
+        locality = self._run(MANYCORE_GRID, policy="locality")
+        assert locality.printed == greedy.printed
+        assert locality.cycles < greedy.cycles
+        assert locality.sched.uploads < greedy.sched.uploads
+
+    def test_manycore_uploads_cost_more_than_cell(self):
+        """code_bytes_per_instr=8 over a 4-bytes/cycle channel: one
+        cold upload moves twice the bytes at half the bandwidth."""
+        cell = self._run(CELL_LIKE, policy="greedy")
+        manycore = self._run(MANYCORE_GRID, policy="greedy")
+        cell_bytes = cell.perf().get("sched.upload_bytes", 0)
+        manycore_bytes = manycore.perf().get("sched.upload_bytes", 0)
+        assert cell_bytes > 0
+        assert manycore_bytes > cell_bytes
+
+    def test_manycore_default_queue_depth_binds(self):
+        result = self._run(MANYCORE_GRID, policy="greedy")
+        assert result.sched.queue_depth == MANYCORE_GRID.sched_queue_depth
+
+    def test_explicit_queue_depth_overrides_target_default(self):
+        result = self._run(MANYCORE_GRID, policy="greedy", queue_depth=0)
+        assert result.sched.queue_depth == 0
+
+    def test_apu_uploads_are_free(self):
+        """No local stores on the unified-memory machine: nothing to
+        upload, so placement policies cost the same."""
+        apu_greedy = self._run(APU_UNIFIED, policy="greedy")
+        apu_locality = self._run(APU_UNIFIED, policy="locality")
+        assert apu_greedy.perf().get("sched.upload_bytes", 0) == 0
+        assert apu_greedy.cycles == apu_locality.cycles
 
 
 class TestProfileFeedback:

@@ -19,7 +19,15 @@ import pytest
 
 from repro.compiler.driver import CompileOptions, compile_program
 from repro.errors import RuntimeTrap
-from repro.machine.config import CELL_LIKE, DSP_WORD, SMP_UNIFORM
+from repro.machine.config import (
+    APU_UNIFIED,
+    CELL_LIKE,
+    DSP_WORD,
+    MANYCORE_GRID,
+    SMP_UNIFORM,
+    TARGET_NAMES,
+    resolve_target,
+)
 from repro.machine.machine import Machine
 from repro.game.sources import (
     ai_kernel_source,
@@ -42,7 +50,9 @@ from repro.vm.codegen import CodegenInterpreter
 from repro.vm.compiled import CompiledInterpreter
 from tests.properties.test_differential_fuzzing import ProgramBuilder
 
-CONFIGS = {"cell": CELL_LIKE, "smp": SMP_UNIFORM, "dsp": DSP_WORD}
+#: Every registered target, by short name — the suite samples all of
+#: them, so a newly registered preset is exercised automatically.
+CONFIGS = {name: resolve_target(name) for name in TARGET_NAMES}
 
 #: Reference first: ``run_both`` compares every other engine against it.
 ALL_ENGINES = ("reference", "compiled", "codegen")
@@ -105,6 +115,23 @@ WORKLOADS = {
         None,
     ),
     "figure2-smp": (figure2_source(), SMP_UNIFORM, None),
+    "figure2-apu": (figure2_source(), APU_UNIFIED, None),
+    "figure2-manycore": (figure2_source(), MANYCORE_GRID, None),
+    "game-demo-apu": (
+        game_demo_source(entity_count=12, pair_count=8, particles=8),
+        APU_UNIFIED,
+        None,
+    ),
+    "game-demo-manycore": (
+        game_demo_source(entity_count=12, pair_count=8, particles=8),
+        MANYCORE_GRID,
+        None,
+    ),
+    "ai-kernel-manycore": (
+        ai_kernel_source(entity_count=16),
+        MANYCORE_GRID,
+        None,
+    ),
     "components": (
         component_system_source(num_types=5, entities_per_type=5),
         CELL_LIKE,
@@ -167,14 +194,18 @@ class TestPaperWorkloads:
 
 
 class TestFuzzCorpus:
-    """Randomized well-typed programs, both engines, fixed seeds."""
+    """Randomized well-typed programs, every engine, fixed seeds.
+
+    The target rotates through the whole registry so each preset —
+    word-addressed dsp and the unified-memory/many-accelerator presets
+    included — sees a share of the corpus."""
 
     @pytest.mark.parametrize("seed", range(24))
     def test_engines_identical(self, seed):
         rng = random.Random(seed)
         offloaded = bool(seed % 2)
         source = ProgramBuilder(rng, offloaded).build(5)
-        config = CELL_LIKE if seed % 4 < 2 else SMP_UNIFORM
+        config = CONFIGS[TARGET_NAMES[seed % len(TARGET_NAMES)]]
         options = CompileOptions(optimize=bool(seed % 3 == 0))
         run_both(source, config, options)
 
@@ -297,6 +328,33 @@ class TestSchedulerEquivalence:
                 sched=SchedOptions(policy="greedy", queue_depth=1)
             ),
         )
+        assert ref.sched.stalls > 0
+        assert compiled.sched.stalls == ref.sched.stalls
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_policies_identical_on_manycore(self, policy):
+        """Cold uploads and the per-target queue depth (queue_depth
+        stays None, so manycore's sched_queue_depth=2 binds) don't
+        break engine equivalence."""
+        ref, compiled = run_both(
+            figure2_source(frames=4),
+            config=MANYCORE_GRID,
+            run_options=RunOptions(sched=SchedOptions(policy=policy)),
+        )
+        assert ref.sched.queue_depth == MANYCORE_GRID.sched_queue_depth
+        assert ref.sched.uploads > 0  # cold code uploads were modelled
+        assert compiled.sched.as_dict() == ref.sched.as_dict()
+
+    def test_manycore_default_backpressure_identical(self):
+        """A burst of offloads on manycore stalls under the target's
+        *default* queue depth — no explicit --queue-depth needed — and
+        both engines agree on the stall accounting."""
+        ref, compiled = run_both(
+            _burst_offloads_source(count=80),
+            config=MANYCORE_GRID,
+            run_options=RunOptions(sched=SchedOptions(policy="greedy")),
+        )
+        assert ref.sched.queue_depth == 2
         assert ref.sched.stalls > 0
         assert compiled.sched.stalls == ref.sched.stalls
 
