@@ -1,11 +1,13 @@
-"""Disabled-tracing overhead guard.
+"""Disabled-observability overhead guard.
 
 The tracing subsystem promises that with the default
 :data:`~repro.obs.trace.NULL_RECORDER` attached, every instrumentation
-site costs **one attribute check** (``if trace.enabled:``).  This
-benchmark turns that promise into a regression gate: the total cost of
-all guard checks executed during the Figure 2 game-frame workload must
-stay under 3% of the workload's wall-clock time.
+site costs **one attribute check** (``if trace.enabled:``); the metrics
+layer (:data:`~repro.obs.metrics.NULL_METRICS`) makes the same promise.
+This benchmark turns that promise into a regression gate: the total
+cost of all guard checks — trace *and* metrics — executed during the
+Figure 2 game-frame workload must stay under 3% of the workload's
+wall-clock time.
 
 There is no uninstrumented build left to diff against, so the bound is
 computed from first principles rather than A/B noise:
@@ -72,8 +74,18 @@ def _guard_executions(perf: dict[str, int]) -> int:
     * dispatch: 1 per domain lookup;
     * offloads: begin/end/launch guard at launch, join guard at join;
     * demand code uploads: 1 each.
+
+    The metrics layer adds its own ``if metrics.enabled:`` guards on a
+    subset of the same hot paths:
+
+    * DMA transfer-size histogram: 1 per issue (gets + puts);
+    * DMA wait histogram: 1 per wait;
+    * softcache streak histogram: 1 per probe;
+    * scheduler queue-occupancy + offload body-cycles: 2 per launch
+      (admit-stall guards only fire on backpressure, bounded by
+      ``sched.stalls``).
     """
-    return (
+    trace_guards = (
         2 * perf.get("vm.calls", 0)
         + perf.get("softcache.probes", 0)
         + 2 * perf.get("softcache.fills", 0)
@@ -86,6 +98,15 @@ def _guard_executions(perf: dict[str, int]) -> int:
         + perf.get("offload.joins", 0)
         + perf.get("demand.code_loads", 0)
     )
+    metrics_guards = (
+        perf.get("dma.gets", 0)
+        + perf.get("dma.puts", 0)
+        + perf.get("dma.waits", 0)
+        + perf.get("softcache.probes", 0)
+        + 2 * perf.get("offload.launches", 0)
+        + perf.get("sched.stalls", 0)
+    )
+    return trace_guards + metrics_guards
 
 
 def _timed_run(program, recorder=None):

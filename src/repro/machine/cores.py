@@ -17,6 +17,7 @@ from repro.machine.config import CostModel, MachineConfig
 from repro.machine.dma import DmaEngine
 from repro.machine.memory import MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_RECORDER
 
 
@@ -31,6 +32,9 @@ class Core:
         #: Event sink (see :mod:`repro.obs`); the null recorder unless a
         #: tracer is attached via ``Machine.attach_trace``.
         self.trace = NULL_RECORDER
+        #: Metrics sink; the null hub unless ``Machine.attach_metrics``
+        #: installs a real one.
+        self.metrics = NULL_METRICS
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, now={self.clock.now})"

@@ -31,6 +31,7 @@ from repro.errors import DmaError
 from repro.machine.config import CostModel
 from repro.machine.memory import MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import EV_DMA_WAIT, EV_DMA_XFER, NULL_RECORDER
 
 NUM_TAGS = 32
@@ -118,6 +119,8 @@ class DmaEngine:
         self.interconnect = interconnect
         #: Event sink; installed by ``Machine.attach_trace``.
         self.trace = NULL_RECORDER
+        #: Metrics sink; installed by ``Machine.attach_metrics``.
+        self.metrics = NULL_METRICS
         self._in_flight: list[DmaRequest] = []
         self._channel_free = 0
         self._next_serial = 0
@@ -177,6 +180,9 @@ class DmaEngine:
                 (kind, tag, local_addr, outer_addr, size, complete,
                  request.serial),
             )
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.observe("dma.xfer_bytes", self.name, size)
         self._in_flight.append(request)
         if kind == GET:
             data = self.main_memory.read_unchecked(outer_addr, size)
@@ -229,6 +235,9 @@ class DmaEngine:
         trace = self.trace
         if trace.enabled:
             trace.emit(now, self.name, EV_DMA_WAIT, (tag, done_time))
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.observe("dma.wait_cycles", self.name, done_time - now)
         return done_time
 
     def wait_all(self, now: int) -> int:
@@ -241,6 +250,9 @@ class DmaEngine:
         trace = self.trace
         if trace.enabled:
             trace.emit(now, self.name, EV_DMA_WAIT, (-1, done_time))
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.observe("dma.wait_cycles", self.name, done_time - now)
         return done_time
 
     # ---------------------------------------------------------- inspection

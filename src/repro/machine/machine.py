@@ -8,6 +8,7 @@ from repro.machine.cores import AcceleratorCore, HostCore
 from repro.machine.interconnect import Interconnect
 from repro.machine.memory import BumpAllocator, MemorySpace
 from repro.machine.perf import PerfCounters
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_RECORDER
 
 
@@ -50,6 +51,9 @@ class Machine:
         #: Event sink shared by every component; the null recorder until
         #: :meth:`attach_trace` installs a real one.
         self.trace = NULL_RECORDER
+        #: Metrics sink shared by every component; the null hub until
+        #: :meth:`attach_metrics` installs a real one.
+        self.metrics = NULL_METRICS
 
     def attach_trace(self, recorder) -> None:
         """Install ``recorder`` as the machine-wide event sink.
@@ -66,6 +70,23 @@ class Machine:
             acc.trace = recorder
             if acc.dma is not None:
                 acc.dma.trace = recorder
+
+    def attach_metrics(self, hub) -> None:
+        """Install ``hub`` as the machine-wide metrics sink.
+
+        Mirrors :meth:`attach_trace`: the hub is propagated to every
+        core and DMA engine so each instrumentation site keeps its
+        pre-bound reference (one attribute check per observation when
+        disabled).  Must be called before building an execution engine
+        for the machine; pass :data:`repro.obs.metrics.NULL_METRICS`
+        to detach.
+        """
+        self.metrics = hub
+        self.host.metrics = hub
+        for acc in self.accelerators:
+            acc.metrics = hub
+            if acc.dma is not None:
+                acc.dma.metrics = hub
 
     def accelerator(self, index: int) -> AcceleratorCore:
         """The ``index``-th accelerator core."""

@@ -11,10 +11,19 @@ a preallocated ring buffer of plain tuples.  Exporters render the
 buffer as a Chrome/Perfetto ``trace_event`` JSON file, a flat text
 timeline, or a per-offload-block profile.
 
+Alongside traces, :mod:`repro.obs.metrics` provides typed histograms
+and gauges (a :class:`~repro.obs.metrics.MetricsHub` attached via
+:meth:`~repro.machine.machine.Machine.attach_metrics`), and
+:mod:`repro.obs.report` snapshots a whole run — counters, histograms,
+scheduler stats, derived metrics — into a canonical, versioned JSON
+:class:`~repro.obs.report.RunReport` that ``repro.tools.report`` can
+render, diff and trend.
+
 The default recorder on every machine is the shared
 :data:`~repro.obs.trace.NULL_RECORDER`; with it, every instrumentation
 site costs a single attribute check (``if trace.enabled:``), guarded by
-``benchmarks/test_obs_overhead.py``.
+``benchmarks/test_obs_overhead.py``.  The default metrics sink,
+:data:`~repro.obs.metrics.NULL_METRICS`, follows the same pattern.
 """
 
 from repro.obs.trace import (  # noqa: F401
@@ -28,4 +37,24 @@ from repro.obs.export import (  # noqa: F401
     format_timeline,
     validate_chrome_trace,
 )
+from repro.obs.metrics import (  # noqa: F401
+    METRICS,
+    NULL_METRICS,
+    Histogram,
+    MetricsHub,
+    NullMetrics,
+    derived_metrics,
+)
 from repro.obs.profile import format_profile, offload_profile  # noqa: F401
+from repro.obs.report import (  # noqa: F401
+    REPORT_KIND,
+    REPORT_SCHEMA_VERSION,
+    ReportError,
+    RunReport,
+    collect_report,
+    diff_reports,
+    load_report,
+    report_json,
+    save_report,
+    validate_report,
+)

@@ -226,7 +226,9 @@ def validate_chrome_trace(trace: object) -> list[str]:
     An empty list means the trace will load in Perfetto / Chrome
     tracing.  Checks the container shape, per-event required fields,
     phase-specific fields, and that every event's (pid, tid) has a
-    ``thread_name`` metadata record.
+    ``thread_name`` metadata record.  A capture whose recorder dropped
+    events (``otherData.dropped_events``) is also reported: the file
+    renders fine but silently misses the start of the run.
     """
     problems: list[str] = []
     if not isinstance(trace, dict):
@@ -234,6 +236,15 @@ def validate_chrome_trace(trace: object) -> list[str]:
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["missing or non-list 'traceEvents'"]
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        dropped = other.get("dropped_events", 0)
+        if isinstance(dropped, int) and dropped > 0:
+            problems.append(
+                f"capture truncated: {dropped} oldest events dropped "
+                f"(recorder ring wrapped; re-capture with a larger "
+                f"capacity)"
+            )
     named_threads: set[tuple[int, int]] = set()
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"

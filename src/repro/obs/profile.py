@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
+from repro.obs.metrics import Histogram
 from repro.obs.trace import (
     EV_DMA_WAIT,
     EV_DMA_XFER,
@@ -57,7 +58,7 @@ class _FuncStats:
 class _OffloadStats:
     __slots__ = (
         "entry", "launches", "total_cycles", "bytes_get", "bytes_put",
-        "dma_transfers", "dma_stall_cycles", "functions",
+        "dma_transfers", "dma_stall_cycles", "dma_waits", "functions",
     )
 
     def __init__(self, entry: str) -> None:
@@ -68,9 +69,13 @@ class _OffloadStats:
         self.bytes_put = 0
         self.dma_transfers = 0
         self.dma_stall_cycles = 0
+        #: Per-wait stall distribution (only *stalling* waits count; a
+        #: wait satisfied by already-complete transfers costs nothing).
+        self.dma_waits = Histogram("dma_wait")
         self.functions: dict[str, _FuncStats] = {}
 
     def as_dict(self) -> dict:
+        waits = self.dma_waits
         return {
             "entry": self.entry,
             "launches": self.launches,
@@ -79,6 +84,9 @@ class _OffloadStats:
             "bytes_put": self.bytes_put,
             "dma_transfers": self.dma_transfers,
             "dma_stall_cycles": self.dma_stall_cycles,
+            "dma_wait_p50": waits.percentile(0.5) if waits.count else 0,
+            "dma_wait_p90": waits.percentile(0.9) if waits.count else 0,
+            "dma_wait_max": waits.max if waits.count else 0,
             "functions": {
                 name: stats.as_dict()
                 for name, stats in sorted(self.functions.items())
@@ -152,6 +160,7 @@ def offload_profile(
                 stall = args[1] - cycle
                 if stall > 0:
                     stats.dma_stall_cycles += stall
+                    stats.dma_waits.observe(stall)
         elif kind == EV_ENTER:
             call_stacks.setdefault(track, []).append([args[0], cycle, 0])
         elif kind == EV_EXIT:
@@ -201,6 +210,12 @@ def format_profile(profile: dict, top: int = 10) -> str:
             f"{stats['bytes_get']}B in, {stats['bytes_put']}B out, "
             f"{stall} stall cycles ({share:.1f}% of block)"
         )
+        if stall:
+            lines.append(
+                f"  dma wait: p50~{stats['dma_wait_p50']} "
+                f"p90~{stats['dma_wait_p90']} "
+                f"max={stats['dma_wait_max']} cycles"
+            )
         lines.extend(_function_rows(stats["functions"], top))
     host = profile["host"]["functions"]
     if host:

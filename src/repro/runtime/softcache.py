@@ -105,6 +105,15 @@ class SoftwareCache:
         #: access when tracing is disabled.
         self._trace = core.trace
         self._trace_track = f"{core.name}.cache"
+        #: Pre-bound metrics sink and streak state.  Streak lengths are
+        #: recorded into the ``softcache.hit_streak`` /
+        #: ``softcache.miss_streak`` histograms when a streak *breaks*
+        #: (a hit after misses or vice versa); the final open streak of
+        #: a run is deliberately left unrecorded — ending it would need
+        #: a teardown hook, and dropping it is equally deterministic.
+        self._metrics = core.metrics
+        self._streak_hits = 0
+        self._streak_misses = 0
 
     # -------------------------------------------------------- organisation
 
@@ -140,6 +149,25 @@ class SoftwareCache:
 
     # ------------------------------------------------------------ internals
 
+    def _streak(self, hit: bool) -> None:
+        """Advance the hit/miss streak state (metrics-enabled path only)."""
+        if hit:
+            if self._streak_misses:
+                self._metrics.observe(
+                    "softcache.miss_streak", self._trace_track,
+                    self._streak_misses,
+                )
+                self._streak_misses = 0
+            self._streak_hits += 1
+        else:
+            if self._streak_hits:
+                self._metrics.observe(
+                    "softcache.hit_streak", self._trace_track,
+                    self._streak_hits,
+                )
+                self._streak_hits = 0
+            self._streak_misses += 1
+
     def _slot_local_addr(self, slot: int) -> int:
         return self.local_base + slot * self.line_size
 
@@ -153,6 +181,7 @@ class SoftwareCache:
         self._probes.count += 1
         slot = self._resident_slot(line_number)
         trace = self._trace
+        metrics = self._metrics
         if slot is not None:
             self._touch(self._lines[slot])
             self._hits.count += 1
@@ -161,6 +190,8 @@ class SoftwareCache:
                     now, self._trace_track, EV_CACHE_HIT,
                     (line_number * self.line_size,),
                 )
+            if metrics.enabled:
+                self._streak(True)
             return slot, now
         self._misses.count += 1
         if trace.enabled:
@@ -168,6 +199,8 @@ class SoftwareCache:
                 now, self._trace_track, EV_CACHE_MISS,
                 (line_number * self.line_size,),
             )
+        if metrics.enabled:
+            self._streak(False)
         return None, now
 
     def _writeback(self, slot: int, now: int) -> int:
@@ -256,6 +289,7 @@ class SoftwareCache:
             self._probes.count += 1
             slot = self._resident_slot(line_number)
             trace = self._trace
+            metrics = self._metrics
             if slot is not None:
                 self._touch(self._lines[slot])
                 self._hits.count += 1
@@ -264,6 +298,8 @@ class SoftwareCache:
                         now, self._trace_track, EV_CACHE_HIT,
                         (line_number * self.line_size,),
                     )
+                if metrics.enabled:
+                    self._streak(True)
             else:
                 self._misses.count += 1
                 if trace.enabled:
@@ -271,6 +307,8 @@ class SoftwareCache:
                         now, self._trace_track, EV_CACHE_MISS,
                         (line_number * self.line_size,),
                     )
+                if metrics.enabled:
+                    self._streak(False)
                 slot, now = self._fill(line_number, now)
             return (
                 ls.read_unchecked(self._slot_local_addr(slot) + offset, size),

@@ -35,6 +35,7 @@ from typing import Mapping, Optional
 from repro.errors import RuntimeTrap
 from repro.ir.module import IRProgram
 from repro.machine.machine import Machine
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import (
     EV_SCHED_DISPATCH,
     EV_SCHED_STALL,
@@ -221,6 +222,9 @@ class OffloadScheduler:
             accels=[AccelStats() for _ in range(count)],
         )
         self._trace = trace
+        #: Pre-bound metrics sink (the machine's hub; attach before
+        #: building an engine, like the trace recorder).
+        self._metrics = machine.metrics if machine is not None else NULL_METRICS
         #: (accel index, offload id) pairs whose code image is resident.
         self._resident: set[tuple[int, int]] = set()
         #: Per-accelerator start cycles of assigned-but-not-yet-started
@@ -354,6 +358,11 @@ class OffloadScheduler:
                 self.stats.stall_cycles += resume - stall_start
                 ctx.core.perf.add("sched.stalls")
                 ctx.core.perf.add("sched.stall_cycles", resume - stall_start)
+                metrics = self._metrics
+                if metrics.enabled:
+                    metrics.observe(
+                        "sched.stall_cycles", None, resume - stall_start
+                    )
                 if self._trace.enabled:
                     self._trace.emit(
                         stall_start,
@@ -400,6 +409,9 @@ class OffloadScheduler:
         occupancy = len([s for s in queue if s > now])
         if occupancy > accel_stats.queue_high_water:
             accel_stats.queue_high_water = occupancy
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.observe("sched.queue_occupancy", None, occupancy)
         return start, body_start
 
     def complete(

@@ -17,7 +17,7 @@ Usage::
     PYTHONPATH=src python -m repro.tools.bench [--out BENCH_vm.json]
         [--repeats 3] [--quick] [--trace FILE]
         [--trace-format chrome|timeline|profile] [--policy NAME]
-        [--target NAME ...]
+        [--target NAME ...] [--reports DIR]
 
 The headline numbers are on the Figure 2 game-frame workload: the
 acceptance target is >= 3x for the compiled engine and >= 7x (aim 10x)
@@ -58,6 +58,10 @@ from repro.vm.interpreter import RunOptions, run_program
 
 #: The engines the workload matrix times, reference first.
 BENCH_ENGINES = ("reference", "compiled", "codegen")
+
+#: Layout version of ``BENCH_vm.json``; bump when fields are renamed
+#: or removed (``benchmarks/wallclock.py --validate`` checks it).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default targets for the per-target game-frame portability section:
 #: the paper's distributed-memory machine plus the two registry presets
@@ -334,6 +338,53 @@ def _bench_compile_cache(source, config, options, reps: int) -> dict:
     }
 
 
+def emit_run_reports(quick: bool, targets, directory: str, sched=None) -> list[str]:
+    """One canonical :class:`~repro.obs.report.RunReport` per bench cell.
+
+    Each workload of the matrix gets a fresh, *untimed* run with a
+    metrics hub attached (so the timed columns stay unpolluted by
+    instrumentation), reported as ``{workload}__{target}.json``; the
+    game-frame portability section adds
+    ``game-frame-portability__{target}.json`` per target.  Reports
+    carry no wall-clock, so the files are byte-reproducible and can be
+    committed as CI baselines.
+    """
+    from repro.obs import MetricsHub, collect_report, save_report
+
+    os.makedirs(directory, exist_ok=True)
+    written = []
+
+    def emit(name, source, target, options, run_sched):
+        config = resolve_target(target)
+        program = compile_program(source, config, options)
+        machine = Machine(config)
+        hub = MetricsHub()
+        machine.attach_metrics(hub)
+        result = run_program(
+            program, machine, RunOptions(engine="compiled", sched=run_sched)
+        )
+        report = collect_report(
+            result, workload=name, hub=hub, engine="compiled", target=target
+        )
+        path = os.path.join(directory, f"{name}__{target}.json")
+        save_report(report, path)
+        written.append(path)
+
+    for spec in workloads(quick):
+        emit(spec["name"], spec["source"], spec["config"], spec["options"],
+             sched)
+    scale = 1 if quick else 2
+    portability_source = figure2_source(
+        entity_count=48 * scale, pair_count=32 * scale, frames=4
+    )
+    for target in targets:
+        emit(
+            "game-frame-portability", portability_source, target,
+            CompileOptions(), SchedOptions(policy="locality"),
+        )
+    return written
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench", description=__doc__.splitlines()[0]
@@ -370,6 +421,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None, dest="targets", metavar="NAME",
         help="target(s) for the per-target game-frame section; repeat "
              f"to add more (default: {', '.join(BENCH_TARGETS)})",
+    )
+    parser.add_argument(
+        "--reports", default=None, metavar="DIR",
+        help="also write one canonical run report per workload/target "
+             "cell to DIR (diff them with repro.tools.report)",
     )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else max(1, args.repeats)
@@ -445,8 +501,16 @@ def main(argv: list[str] | None = None) -> int:
     geomean = product ** (1.0 / len(results))
     codegen_geomean = codegen_product ** (1.0 / len(results))
     headline = next(e for e in results if e["name"] == "game-frame")
+    if args.reports is not None:
+        written = emit_run_reports(
+            args.quick, args.targets or BENCH_TARGETS, args.reports,
+            matrix_sched,
+        )
+        print(f"-- {len(written)} run reports -> {args.reports}")
+
     report = {
         "benchmark": "vm-engine-wallclock",
+        "schema_version": BENCH_SCHEMA_VERSION,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

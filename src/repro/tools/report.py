@@ -1,0 +1,288 @@
+"""Render, diff and trend canonical run reports.
+
+Usage::
+
+    python -m repro.tools.report show REPORT [--format text|json|markdown]
+    python -m repro.tools.report diff BASELINE NEW
+        [--tolerance PATH=PCT ...] [--default-tolerance PCT]
+        [--include-wall] [--format text|json]
+    python -m repro.tools.report trend DIR [--metric PATH]
+        [--format text|json]
+
+``show`` pretty-prints one report (produced by ``repro.tools.run
+--report`` or ``repro.tools.bench --reports``).  ``diff`` compares two
+reports metric-by-metric: every flattened path (``simulated_cycles``,
+``counters.dma.gets``, ``histograms.dma.wait_cycles[dma0].p90``, …)
+must match within its tolerance, which defaults to exact for simulated
+quantities and *ignored* for ``wall_seconds``.  ``trend`` walks a
+directory of historical reports (sorted by filename) and tabulates one
+metric over time.
+
+Exit status follows the checker convention (:mod:`repro.tools.check`):
+
+* 0 — clean: reports load and match within tolerances.
+* 1 — the tool could not do its job (missing/malformed file, unknown
+  metric path, bad tolerance spec).
+* 3 — differences beyond tolerance (``diff`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import (
+    DEFAULT_IGNORE,
+    ReportError,
+    diff_reports,
+    flatten_report,
+    load_report,
+    load_report_dir,
+    trend_rows,
+)
+
+EXIT_CLEAN = 0
+EXIT_ERROR = 1
+EXIT_DIFFERENCES = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render one report")
+    show.add_argument("report", help="report JSON file")
+    show.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text"
+    )
+
+    diff = sub.add_parser("diff", help="compare two reports")
+    diff.add_argument("baseline", help="baseline report JSON file")
+    diff.add_argument("new", help="new report JSON file")
+    diff.add_argument(
+        "--tolerance", action="append", default=[], metavar="PATH=PCT",
+        help="per-metric tolerance in percent; longest prefix wins; "
+        "PCT may be 'ignore' (e.g. --tolerance derived=1.5 "
+        "--tolerance counters.softcache=ignore)",
+    )
+    diff.add_argument(
+        "--default-tolerance", type=float, default=0.0, metavar="PCT",
+        help="tolerance for paths without a --tolerance entry "
+        "(default: 0, exact match)",
+    )
+    diff.add_argument(
+        "--include-wall", action="store_true",
+        help="also compare wall_seconds (ignored by default)",
+    )
+    diff.add_argument("--format", choices=("text", "json"), default="text")
+
+    trend = sub.add_parser("trend", help="tabulate a metric across reports")
+    trend.add_argument("directory", help="directory of report JSON files")
+    trend.add_argument(
+        "--metric", default="simulated_cycles", metavar="PATH",
+        help="flattened metric path (default: simulated_cycles)",
+    )
+    trend.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+# ------------------------------------------------------------------ show
+
+
+_SUMMARY_FIELDS = (
+    "workload", "target", "engine", "policy", "queue_depth",
+    "simulated_cycles", "host_cycles", "instructions", "wall_seconds",
+)
+
+
+def format_report_text(obj: dict) -> str:
+    lines = ["run report"]
+    for key in _SUMMARY_FIELDS:
+        lines.append(f"  {key:<18} {obj.get(key)}")
+    for section in ("derived", "gauges", "counters"):
+        values = obj.get(section) or {}
+        if values:
+            lines.append(f"{section}:")
+            for key in sorted(values):
+                lines.append(f"  {key:<34} {values[key]}")
+    histograms = obj.get("histograms") or {}
+    if histograms:
+        lines.append("histograms:")
+        lines.append(
+            f"  {'metric':<34} {'count':>8} {'min':>8} {'p50':>8} "
+            f"{'p90':>8} {'max':>8}"
+        )
+        for key in sorted(histograms):
+            h = histograms[key]
+            lines.append(
+                f"  {key:<34} {h['count']:>8} {h['min']:>8} {h['p50']:>8} "
+                f"{h['p90']:>8} {h['max']:>8}"
+            )
+    sched = obj.get("sched") or {}
+    if sched:
+        lines.append("sched:")
+        for key in (
+            "policy", "queue_depth", "jobs", "stalls", "stall_cycles",
+            "uploads", "busy_cycles", "queue_high_water", "utilization",
+        ):
+            if key in sched:
+                lines.append(f"  {key:<34} {sched[key]}")
+    diagnostics = obj.get("diagnostics") or []
+    if diagnostics:
+        lines.append("diagnostics:")
+        for item in diagnostics:
+            lines.append(f"  {item}")
+    return "\n".join(lines)
+
+
+def format_report_markdown(obj: dict) -> str:
+    lines = [
+        f"## Run report: {obj.get('workload')} on {obj.get('target')}",
+        "",
+        "| field | value |",
+        "| --- | --- |",
+    ]
+    for key in _SUMMARY_FIELDS:
+        lines.append(f"| {key} | {obj.get(key)} |")
+    for section in ("derived", "gauges", "counters"):
+        values = obj.get(section) or {}
+        if values:
+            lines += ["", f"### {section}", "", "| metric | value |",
+                      "| --- | --- |"]
+            for key in sorted(values):
+                lines.append(f"| {key} | {values[key]} |")
+    histograms = obj.get("histograms") or {}
+    if histograms:
+        lines += ["", "### histograms", "",
+                  "| metric | count | min | p50 | p90 | max |",
+                  "| --- | --- | --- | --- | --- | --- |"]
+        for key in sorted(histograms):
+            h = histograms[key]
+            lines.append(
+                f"| {key} | {h['count']} | {h['min']} | {h['p50']} "
+                f"| {h['p90']} | {h['max']} |"
+            )
+    return "\n".join(lines)
+
+
+def cmd_show(args) -> int:
+    obj = load_report(args.report)
+    if args.format == "json":
+        print(json.dumps(obj, sort_keys=True, indent=2))
+    elif args.format == "markdown":
+        print(format_report_markdown(obj))
+    else:
+        print(format_report_text(obj))
+    return EXIT_CLEAN
+
+
+# ------------------------------------------------------------------ diff
+
+
+def parse_tolerances(specs: list[str]) -> dict:
+    """``PATH=PCT`` pairs -> thresholds dict; PCT may be ``ignore``."""
+    thresholds: dict = {}
+    for spec in specs:
+        path, sep, value = spec.partition("=")
+        if not sep or not path:
+            raise ValueError(
+                f"bad --tolerance {spec!r}, expected PATH=PCT"
+            )
+        if value == "ignore":
+            thresholds[path] = "ignore"
+        else:
+            try:
+                thresholds[path] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad --tolerance {spec!r}: {value!r} is not a "
+                    f"number or 'ignore'"
+                ) from None
+    return thresholds
+
+
+def cmd_diff(args) -> int:
+    thresholds = parse_tolerances(args.tolerance)
+    base = load_report(args.baseline)
+    new = load_report(args.new)
+    ignore = () if args.include_wall else DEFAULT_IGNORE
+    entries = diff_reports(
+        base, new,
+        thresholds=thresholds,
+        default_tolerance=args.default_tolerance,
+        ignore=ignore,
+    )
+    if args.format == "json":
+        print(json.dumps(
+            [
+                {
+                    "metric": e.metric, "base": e.base, "new": e.new,
+                    "pct": None if e.pct is None else round(e.pct, 4),
+                    "tolerance": e.tolerance,
+                }
+                for e in entries
+            ],
+            sort_keys=True,
+        ))
+    else:
+        if not entries:
+            print(
+                f"reports match: {args.new} vs baseline {args.baseline}"
+            )
+        else:
+            print(
+                f"{len(entries)} difference(s): {args.new} vs baseline "
+                f"{args.baseline}"
+            )
+            for entry in entries:
+                print(f"  {entry.describe()}")
+    return EXIT_DIFFERENCES if entries else EXIT_CLEAN
+
+
+# ------------------------------------------------------------------ trend
+
+
+def cmd_trend(args) -> int:
+    reports = load_report_dir(args.directory)
+    if not reports:
+        print(f"no report files in {args.directory}", file=sys.stderr)
+        return EXIT_ERROR
+    known = set(flatten_report(reports[0][1]))
+    if args.metric not in known:
+        print(
+            f"metric {args.metric!r} not present in {reports[0][0]}; "
+            f"try e.g. {', '.join(sorted(known)[:6])}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    rows = trend_rows(reports, args.metric)
+    if args.format == "json":
+        print(json.dumps(rows, sort_keys=True))
+        return EXIT_CLEAN
+    print(f"{args.metric}:")
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        delta = row.get("delta_pct")
+        suffix = "" if delta is None else f"  ({delta:+.2f}%)"
+        print(f"  {row['name']:<{width}}  {row['value']}{suffix}")
+    return EXIT_CLEAN
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            return cmd_show(args)
+        if args.command == "diff":
+            return cmd_diff(args)
+        return cmd_trend(args)
+    except (ReportError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

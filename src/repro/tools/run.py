@@ -8,7 +8,7 @@ Usage::
         [--engine compiled|codegen|reference] [--dump-codegen]
         [--dump-after PASS] [--time-passes] [--cache-dir DIR]
         [--emit-artifact PATH] [--trace FILE]
-        [--trace-format chrome|timeline|profile]
+        [--trace-format chrome|timeline|profile] [--report FILE]
         [--policy greedy|least-loaded|locality|critical-path]
         [--queue-depth N]
 
@@ -22,7 +22,9 @@ Exit status: 0 on success, 1 on compile errors, 2 on runtime traps.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from repro.compiler.cache import cache_at
 from repro.compiler.driver import CompileOptions, compile_program
@@ -33,15 +35,24 @@ from repro.ir.serialize import ArtifactError, load_program, save_program
 from repro.machine.config import default_target, resolve_target, target_names
 from repro.machine.machine import Machine
 from repro.obs import (
+    MetricsHub,
     TraceRecorder,
     chrome_trace_json,
+    collect_report,
     format_profile,
     format_timeline,
     offload_profile,
+    report_json,
+    save_report,
 )
 from repro.runtime.cachekinds import CACHE_KIND_CHOICES
 from repro.sched import POLICY_NAMES, SchedOptions
-from repro.vm.interpreter import ENGINE_NAMES, RunOptions, run_program
+from repro.vm.interpreter import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    RunOptions,
+    run_program,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace export format: Chrome/Perfetto trace_event JSON "
              "(default), a flat text timeline, or a per-offload profile",
     )
+    parser.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write a canonical JSON run report (counters, histograms, "
+             "derived metrics) to FILE ('-' for stdout); render/compare "
+             "with repro.tools.report",
+    )
     return parser
 
 
@@ -142,12 +159,18 @@ def export_trace(recorder, fmt: str) -> str:
 
 def write_trace(recorder, path: str, fmt: str) -> None:
     text = export_trace(recorder, fmt)
+    dropped = recorder.dropped
     if path == "-":
         sys.stdout.write(text)
+        if dropped:
+            print(
+                f"warning: trace truncated, {dropped} oldest events "
+                f"dropped (raise TraceRecorder capacity)",
+                file=sys.stderr,
+            )
         return
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
-    dropped = recorder.dropped
     note = f" ({dropped} oldest events dropped)" if dropped else ""
     print(
         f"-- trace: {len(recorder)} events -> {path}{note}", file=sys.stderr
@@ -266,6 +289,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace is not None:
         recorder = TraceRecorder()
         machine.attach_trace(recorder)
+    hub = None
+    if args.report is not None:
+        hub = MetricsHub()
+        machine.attach_metrics(hub)
+    started = time.perf_counter()
     try:
         result = run_program(program, machine, run_options)
     except ValueError as error:
@@ -279,6 +307,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{core}] {value}")
     if recorder is not None:
         write_trace(recorder, args.trace, args.trace_format)
+    if args.report is not None:
+        report = collect_report(
+            result,
+            workload=os.path.splitext(os.path.basename(args.source))[0],
+            hub=hub,
+            wall_seconds=time.perf_counter() - started,
+            engine=args.engine or DEFAULT_ENGINE,
+            target=args.target,
+        )
+        if args.report == "-":
+            sys.stdout.write(report_json(report))
+        else:
+            save_report(report, args.report)
+            print(f"-- report written to {args.report}", file=sys.stderr)
     print(f"-- {result.cycles} simulated cycles on {config.name}", file=sys.stderr)
     if sched is not None and result.sched is not None:
         st = result.sched

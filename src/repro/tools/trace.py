@@ -188,6 +188,12 @@ def main(argv: list[str] | None = None) -> int:
             f"({recorder.dropped} dropped) -> {args.out}",
             file=sys.stderr,
         )
+    if recorder.dropped:
+        print(
+            f"warning: trace truncated, {recorder.dropped} oldest events "
+            f"dropped — raise --capacity (currently {args.capacity})",
+            file=sys.stderr,
+        )
     print(
         f"-- {result.cycles} simulated cycles on {config.name}",
         file=sys.stderr,

@@ -200,6 +200,9 @@ class RunResult:
     #: Runtime diagnostics, e.g. ``W-offload-unjoined`` for handles
     #: that were never joined (:class:`repro.analysis.diagnostics.Finding`).
     diagnostics: list = field(default_factory=list)
+    #: Simulated instructions retired (identical across engines; the
+    #: compiled/codegen engines count per executed block).
+    instructions: int = 0
 
     @property
     def printed(self) -> list[object]:
@@ -231,6 +234,8 @@ class Interpreter:
         #: Pre-bound event sink; attach a recorder to the machine
         #: (``Machine.attach_trace``) *before* building the engine.
         self._trace = machine.trace
+        #: Pre-bound metrics sink (``Machine.attach_metrics``).
+        self._metrics = machine.metrics
         self.output: list[tuple[str, object]] = []
         self.handles: list[Handle] = []
         self._instructions = 0
@@ -307,6 +312,7 @@ class Interpreter:
             races=races,
             sched=self._sched.stats,
             diagnostics=self.audit_handles(),
+            instructions=self._instructions,
         )
 
     def audit_handles(self) -> list[Finding]:
@@ -934,6 +940,9 @@ class Interpreter:
         finish = accel_ctx.now
         accelerator.clock.sync_to(finish)
         sched.complete(offload_id, accel_index, start, body_start, finish)
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.observe("offload.body_cycles", None, finish - body_start)
         ctx.now += ctx.core.cost.call  # host-side issue cost
         handle = Handle(
             offload_id=offload_id,
