@@ -3,9 +3,10 @@
 The whole point of moving DMA-discipline checking to compile time is
 that it is cheap enough to run on every build.  This gate holds the
 analyses to that: running every whole-program analysis (DMA discipline,
-local-store footprint, outer traffic, annotation coverage) over the
-entire game substrate — every generated game source, the demo included —
-must finish well under the CI budget.
+interval-domain DMA bounds proofs, static cost estimation, local-store
+footprint, outer traffic, annotation coverage) over the entire game
+substrate — every generated game source, the demo included — must
+finish well under the CI budget.
 
 Compilation is measured separately and not charged to the checker: the
 budget is for the analyses themselves, which is what this PR added.
@@ -32,9 +33,11 @@ def test_game_corpus_analyses_under_budget():
     ]
     started = time.perf_counter()
     total_findings = 0
+    analyses_run: set[str] = set()
     for filename, program in programs:
         result = run_analyses(program, CELL_LIKE, file=filename)
         total_findings += len(result.findings)
+        analyses_run.update(t.analysis for t in result.timings)
     elapsed = time.perf_counter() - started
     assert elapsed < CHECK_BUDGET_SECONDS, (
         f"analyses took {elapsed:.2f}s over {len(programs)} game sources "
@@ -44,3 +47,5 @@ def test_game_corpus_analyses_under_budget():
     # warnings are present, so the timer measured real work.
     assert len(programs) >= 8
     assert total_findings >= 1
+    # The budget covers the interval-domain passes too, not a subset.
+    assert {"dma-bounds", "cost"} <= analyses_run

@@ -4,6 +4,16 @@
   generic worklist fixpoint engine the whole-program analyses build on.
 * :mod:`repro.analysis.dmacheck` — flow-sensitive, interprocedural DMA
   discipline checking (races, leaks, orphan waits).
+* :mod:`repro.analysis.intervals` — interprocedural abstract
+  interpretation over the dataflow engine: an interval × congruence
+  (stride/alignment) domain with widening, branch refinement,
+  per-function summaries and loop trip-count bounds.
+* :mod:`repro.analysis.bounds` — static DMA bounds/alignment proofs on
+  the interval domain (``E-dma-oob``, ``W-dma-unaligned``,
+  ``W-dma-tiny-transfer``).
+* :mod:`repro.analysis.cost` — static per-offload cycle and DMA-traffic
+  estimation (``W-cost-unbounded``); :func:`repro.analysis.cost.static_profile`
+  feeds the ``critical-path`` scheduler policy with no profiling run.
 * :mod:`repro.analysis.footprint` — local-store footprint estimation
   per offload block against the target's scratch-pad capacity.
 * :mod:`repro.analysis.traffic` — outer-traffic analysis flagging
@@ -28,21 +38,44 @@ from repro.analysis.annotations import (
     annotation_requirements,
     report_for_program,
 )
-from repro.analysis.diagnostics import CODES, Finding
+from repro.analysis.cost import (
+    OffloadCost,
+    estimate_program,
+    static_profile,
+)
+from repro.analysis.diagnostics import CODES, Finding, RelatedLocation
+from repro.analysis.intervals import (
+    AbsInt,
+    Congruence,
+    Interval,
+    TripCount,
+    analyze_function,
+    loop_trips,
+)
 from repro.analysis.metrics import count_loc, source_delta
 from repro.analysis.runner import AnalysisResult, run_analyses
 from repro.analysis.static_races import StaticRaceFinding, find_static_races
 
 __all__ = [
+    "AbsInt",
     "AnalysisResult",
     "AnnotationReport",
     "CODES",
+    "Congruence",
     "Finding",
+    "Interval",
+    "OffloadCost",
+    "RelatedLocation",
     "StaticRaceFinding",
+    "TripCount",
+    "analyze_function",
     "annotation_requirements",
     "count_loc",
+    "estimate_program",
     "find_static_races",
+    "loop_trips",
     "report_for_program",
     "run_analyses",
     "source_delta",
+    "static_profile",
 ]

@@ -276,6 +276,20 @@ class ForwardAnalysis:
         ``widen_after`` threshold.  Default: no widening."""
         return new
 
+    def edge(self, pred: BasicBlock, succ_index: int, state):
+        """Refine a predecessor-out state along the edge into block
+        ``succ_index``.  Returning ``None`` marks the edge statically
+        infeasible (its contribution is dropped).  The default is the
+        identity — edge-insensitive analyses never notice the hook.
+
+        This is what lets an analysis recover branch conditions: on the
+        two out-edges of a ``cjump`` the condition register is known
+        true/false, and an interval analysis can meet the compared
+        operands with the implied bound (see
+        :class:`repro.analysis.intervals.IntervalAnalysis`).
+        """
+        return state
+
 
 @dataclass
 class FixpointResult:
@@ -300,14 +314,25 @@ def solve_forward(
     The worklist is prioritised by reverse-postorder position, so acyclic
     regions converge in one sweep and only loop bodies iterate.  After
     ``widen_after`` visits of the same block, :meth:`ForwardAnalysis.widen`
-    is applied to its entry state; ``max_block_visits`` is a hard safety
-    valve (sets ``converged=False`` instead of looping forever on a
-    non-monotone analysis bug).
+    is applied to its entry state — but only at *widening points*
+    (targets of retreating edges, i.e. loop heads): widening a loop-body
+    block would wipe out the precision an :meth:`ForwardAnalysis.edge`
+    refinement just recovered on the body-entry edge, and every cycle
+    passes through a retreating-edge target, so termination is
+    unaffected.  ``max_block_visits`` is a hard safety valve (sets
+    ``converged=False`` instead of looping forever on a non-monotone
+    analysis bug).
     """
     rpo = cfg.reverse_postorder()
     if not rpo:
         return FixpointResult({}, {}, 0)
     rpo_pos = {b: i for i, b in enumerate(rpo)}
+    widen_points = {
+        b
+        for b in rpo
+        for p in cfg.blocks[b].preds
+        if rpo_pos.get(p, -1) >= rpo_pos[b]
+    }
     block_in: dict[int, object] = {}
     block_out: dict[int, object] = {}
     visits: dict[int, int] = {}
@@ -327,6 +352,9 @@ def solve_forward(
             out = block_out.get(p)
             if out is None:
                 continue
+            out = analysis.edge(cfg.blocks[p], b, out)
+            if out is None:
+                continue  # statically infeasible edge
             state = out if state is None else analysis.join(state, out)
         if state is None:
             continue  # not reachable yet
@@ -335,7 +363,7 @@ def solve_forward(
         if count > max_block_visits:
             converged = False
             continue
-        if count > widen_after and b in block_in:
+        if count > widen_after and b in widen_points and b in block_in:
             state = analysis.widen(block_in[b], state, count)
         block_in[b] = state
         new_out = analysis.transfer(block, state)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -90,7 +91,40 @@ CODES: dict[str, CodeInfo] = {
         "an offload handle is never joined, so its completion is "
         "unsynchronized with the host",
     ),
+    "E-dma-oob": CodeInfo(
+        SEV_ERROR,
+        "a DMA transfer provably reads or writes outside its "
+        "source/destination buffer extent on some loop iteration",
+    ),
+    "W-dma-unaligned": CodeInfo(
+        SEV_WARNING,
+        "a DMA transfer address is provably misaligned for the "
+        "target's DMA alignment grain",
+    ),
+    "W-dma-tiny-transfer": CodeInfo(
+        SEV_WARNING,
+        "a DMA inside a loop moves provably fewer bytes per iteration "
+        "than setup+latency can amortise (many-small-DMAs anti-pattern)",
+    ),
+    "W-cost-unbounded": CodeInfo(
+        SEV_WARNING,
+        "a loop in offloaded code cannot be statically bounded, so the "
+        "static cycle/DMA-traffic estimate for its offload is open-ended",
+    ),
 }
+
+
+@dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary location attached to a finding — the loop back edge
+    an address varies around, or a call site on the interprocedural
+    path to the reported instruction.  Rendered as SARIF
+    ``relatedLocations``."""
+
+    message: str
+    file: str = "<input>"
+    function: str = ""
+    instr_index: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -111,6 +145,7 @@ class Finding:
     span: Optional[SourceSpan] = None
     notes: tuple[str, ...] = ()
     analysis: str = ""
+    related: tuple[RelatedLocation, ...] = ()
 
     @property
     def severity(self) -> str:
@@ -127,6 +162,11 @@ class Finding:
         text = f"{where}: {self.severity}[{self.code}]: {self.message}"
         for note in self.notes:
             text += f"\n  note: {note}"
+        for rel in self.related:
+            rwhere = f"{rel.file}:{rel.function}" if rel.function else rel.file
+            if rel.instr_index is not None:
+                rwhere += f"[{rel.instr_index}]"
+            text += f"\n  see: {rwhere}: {rel.message}"
         return text
 
 
@@ -158,15 +198,30 @@ def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
 # ------------------------------------------------------------ fingerprints
 
 
+#: Compiled-duplicate mangling suffix: ``name@<offload>$<signature>``.
+#: One *source* function fans out into one duplicate per (offload,
+#: signature) pair; fingerprints strip the suffix so a diagnostic at a
+#: shared source site has one identity, not one per duplicate.
+_DUPLICATE_SUFFIX = re.compile(r"@\d+\$[A-Za-z0-9_]*")
+
+
+def _normalize_duplicates(text: str) -> str:
+    return _DUPLICATE_SUFFIX.sub("", text)
+
+
 def fingerprint(finding: Finding) -> str:
-    """A stable identity for baseline suppression.
+    """A stable identity for baseline suppression and deduplication.
 
     Deliberately excludes instruction indices and note text so that
     unrelated edits (which shift IR indices) don't invalidate baselines;
-    includes code, file, function and message.
+    includes code, file, function and message.  Compiled-duplicate
+    mangling (``name@<offload>$<sig>``) is stripped from the function
+    name *and* the message, so per-duplicate re-reports of one source
+    site collapse to one fingerprint (the runner dedupes on it).
     """
-    message = finding.message
-    payload = f"{finding.code}|{finding.file}|{finding.function}|{message}"
+    function = _normalize_duplicates(finding.function)
+    message = _normalize_duplicates(finding.message)
+    payload = f"{finding.code}|{finding.file}|{function}|{message}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -232,6 +287,20 @@ def findings_to_dicts(findings: list[Finding]) -> list[dict]:
             entry["notes"] = list(f.notes)
         if f.analysis:
             entry["analysis"] = f.analysis
+        if f.related:
+            entry["related"] = [
+                {
+                    "message": rel.message,
+                    "file": rel.file,
+                    "function": rel.function,
+                    **(
+                        {"instr_index": rel.instr_index}
+                        if rel.instr_index is not None
+                        else {}
+                    ),
+                }
+                for rel in f.related
+            ]
         out.append(entry)
     return out
 
@@ -275,15 +344,29 @@ def sarif_report(findings: list[Finding]) -> dict:
         message = f.message
         if f.notes:
             message += "".join(f"\n{note}" for note in f.notes)
-        results.append(
-            {
-                "ruleId": f.code,
-                "level": _SARIF_LEVEL[f.severity],
-                "message": {"text": message},
-                "locations": [location],
-                "partialFingerprints": {"reproCheck/v1": fingerprint(f)},
-            }
-        )
+        result = {
+            "ruleId": f.code,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": message},
+            "locations": [location],
+            "partialFingerprints": {"reproCheck/v1": fingerprint(f)},
+        }
+        if f.related:
+            related = []
+            for rel in f.related:
+                entry: dict = {
+                    "message": {"text": rel.message},
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": rel.file},
+                    },
+                }
+                if rel.function:
+                    entry["logicalLocations"] = [
+                        {"name": rel.function, "kind": "function"}
+                    ]
+                related.append(entry)
+            result["relatedLocations"] = related
+        results.append(result)
     return {
         "$schema": _SARIF_SCHEMA,
         "version": "2.1.0",
@@ -354,4 +437,30 @@ def validate_sarif(log: object) -> list[str]:
                 message.get("text"), str
             ):
                 problems.append(f"{rwhere}: missing message.text")
+            related = result.get("relatedLocations", [])
+            if not isinstance(related, list):
+                problems.append(f"{rwhere}: relatedLocations must be an array")
+                continue
+            for li, rel in enumerate(related):
+                lwhere = f"{rwhere}.relatedLocations[{li}]"
+                if not isinstance(rel, dict):
+                    problems.append(f"{lwhere}: not an object")
+                    continue
+                rmessage = rel.get("message")
+                if not isinstance(rmessage, dict) or not isinstance(
+                    rmessage.get("text"), str
+                ):
+                    problems.append(f"{lwhere}: missing message.text")
+                uri = (
+                    rel.get("physicalLocation", {})
+                    .get("artifactLocation", {})
+                    .get("uri")
+                    if isinstance(rel.get("physicalLocation"), dict)
+                    else None
+                )
+                if not isinstance(uri, str):
+                    problems.append(
+                        f"{lwhere}: missing "
+                        f"physicalLocation.artifactLocation.uri"
+                    )
     return problems

@@ -53,7 +53,7 @@ from repro.analysis.dataflow import (
     solve_forward,
     thaw_values,
 )
-from repro.analysis.diagnostics import Finding
+from repro.analysis.diagnostics import Finding, RelatedLocation
 from repro.ir.instructions import Call, DomainCall, ICall, Intrinsic, Ret
 from repro.ir.module import IRFunction, IRProgram
 
@@ -504,6 +504,16 @@ def check_function(
                 if earlier.origin == function.name
                 else f"instruction {earlier.index} of {earlier.origin}"
             )
+            related = (
+                RelatedLocation(
+                    message=(
+                        f"the earlier {earlier.kind} was issued here"
+                    ),
+                    file=file,
+                    function=earlier.origin,
+                    instr_index=earlier.index,
+                ),
+            )
             findings.append(
                 Finding(
                     code="E-dma-race",
@@ -517,6 +527,7 @@ def check_function(
                     function=function.name,
                     instr_index=later.index,
                     analysis="dma-discipline",
+                    related=related,
                 )
             )
         elif item[0] == "orphan":
@@ -552,6 +563,21 @@ def check_function(
                     if t.origin == function.name
                     else f"instruction {t.index} of {t.origin}"
                 )
+                related = (
+                    (
+                        RelatedLocation(
+                            message=(
+                                f"the in-flight {t.kind} was issued in "
+                                f"this callee"
+                            ),
+                            file=file,
+                            function=t.origin,
+                            instr_index=t.index,
+                        ),
+                    )
+                    if t.origin != function.name
+                    else ()
+                )
                 findings.append(
                     Finding(
                         code="E-dma-leak",
@@ -565,6 +591,7 @@ def check_function(
                         function=function.name,
                         instr_index=t.index,
                         analysis="dma-discipline",
+                        related=related,
                     )
                 )
     return findings

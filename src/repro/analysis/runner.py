@@ -15,9 +15,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.analysis import dmacheck, footprint, offloads, traffic
+from repro.analysis import bounds, cost, dmacheck, footprint, offloads, traffic
 from repro.analysis.annotations import report_for_program
-from repro.analysis.diagnostics import Finding, sort_findings
+from repro.analysis.diagnostics import Finding, fingerprint, sort_findings
+from repro.analysis.intervals import compute_summaries as interval_summaries
 from repro.ir.instructions import OffloadLaunch
 from repro.ir.module import IRProgram
 from repro.machine.config import MachineConfig, resolve_target
@@ -140,6 +141,34 @@ def run_analyses(
             )
         )
 
+    # DMA bounds/alignment over the interval domain, per accel function
+    # (interval summaries computed once, shared with the cost model).
+    ivals = meter.run(
+        "dma-bounds",
+        "(summaries)",
+        lambda: interval_summaries(accel),
+    )
+    for function in accel:
+        findings.extend(
+            meter.run(
+                "dma-bounds",
+                function.name,
+                lambda fn=function: bounds.check_function(
+                    program, fn, config, summaries=ivals, file=file
+                ),
+            )
+        )
+
+    # Static cost model: flags loops it cannot bound (whole-program —
+    # the walk follows each offload's call graph).
+    findings.extend(
+        meter.run(
+            "cost",
+            "(offloads)",
+            lambda: cost.check_program(program, config, file=file),
+        )
+    )
+
     # Outer traffic, per function reachable from an uncached offload.
     reach = traffic.uncached_reachable(program)
     for function in accel:
@@ -167,7 +196,19 @@ def run_analyses(
                 )
             )
 
-    result.findings = sort_findings(findings)
+    # Per-duplicate specialized functions re-derive the same source
+    # site; fingerprints normalize the duplicate mangling away, so one
+    # source-level problem keeps exactly one (deterministically first
+    # in sorted order) finding.
+    deduped: list[Finding] = []
+    seen: set[str] = set()
+    for finding in sort_findings(findings):
+        print_ = fingerprint(finding)
+        if print_ in seen:
+            continue
+        seen.add(print_)
+        deduped.append(finding)
+    result.findings = deduped
     return result
 
 

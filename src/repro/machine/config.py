@@ -112,6 +112,14 @@ class MachineConfig:
         word_addressed: True when memory addresses index words rather than
             bytes (the Section 5 machines).
         word_size: Bytes per addressable word when ``word_addressed``.
+        dma_align: Alignment (bytes) the DMA engine wants on transfer
+            addresses.  Real engines degrade (or fault) on unaligned
+            transfers; the static bounds checker (`repro.analysis.bounds`)
+            warns when a transfer address is *provably* misaligned for
+            this grain.  The default matches the layout engine's word
+            grain (4) — every compiler-placed scalar and struct member
+            is word-aligned, so only genuinely byte-offset transfers
+            warn.  Irrelevant on shared-memory machines.
         code_bytes_per_instr: Simulated bytes per IR instruction in an
             uploaded code image — sizes both the scheduler's cold
             code-upload model and on-demand code loading.  Machines with
@@ -133,6 +141,7 @@ class MachineConfig:
     shared_interconnect: bool = False
     word_addressed: bool = False
     word_size: int = 4
+    dma_align: int = 4
     code_bytes_per_instr: int = 4
     sched_queue_depth: int = 0
     cost: CostModel = field(default_factory=CostModel)

@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro.tools.check program.om [more.om ...]
-        [--target cell|smp|dsp|apu|manycore] [--format text|json|sarif]
-        [--fail-on error|warning] [--baseline FILE | --write-baseline FILE]
+        [--target cell|smp|dsp|apu|manycore | --all-targets]
+        [--format text|json|sarif] [--fail-on error|warning]
+        [--baseline FILE | --write-baseline FILE]
         [--corpus game] [--out FILE] [--time-passes] [--trace FILE]
 
 Runs the full front end and lowering, then every whole-program static
@@ -13,6 +14,12 @@ discipline checking, local-store footprint estimation, outer-traffic
 analysis and domain-annotation coverage.  Findings are rendered as
 human-readable text (default), canonical JSON, or SARIF 2.1.0 for CI
 annotation services.
+
+``--all-targets`` is the portability lint: the same sources are
+compiled and analyzed once per registry target (each target's
+local-store capacity, cost model and DMA alignment change what the
+analyses can prove), a per-target verdict table goes to stderr, and
+the SARIF output carries one run per target.
 
 Exit status contract:
 
@@ -39,6 +46,7 @@ from repro.analysis.diagnostics import (
     format_text,
     load_baseline,
     meets_threshold,
+    sarif_report,
     sort_findings,
     write_baseline,
 )
@@ -93,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--target", choices=list(target_names()), default=default_target(),
         help="registered machine target (default: cell, or REPRO_TARGET)",
+    )
+    parser.add_argument(
+        "--all-targets", action="store_true",
+        help="portability lint: check under every registered target and "
+             "print a per-target verdict table",
     )
     parser.add_argument(
         "--corpus", choices=("game",),
@@ -158,31 +171,40 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
 
-    config = resolve_target(args.target)
+    targets = (
+        list(target_names()) if args.all_targets else [args.target]
+    )
     recorder = TraceRecorder() if args.trace else NULL_RECORDER
     options = CompileOptions(analyze=True)
-    findings = []
-    for filename, source in inputs:
-        try:
-            # The pass pipeline is run directly (not through the compile
-            # cache): static checking wants every stage to actually
-            # execute, and --time-passes wants its timings.
-            ctx = PassManager.default().run(
-                source, config, options, filename=filename, trace=recorder
-            )
-        except CompileError as error:
-            for diagnostic in error.diagnostics:
-                print(diagnostic.render(), file=sys.stderr)
-            return 1
-        findings.extend(ctx.findings)
-        if args.time_passes:
-            print(f"== {filename}", file=sys.stderr)
-            print(format_timings(ctx.timings), file=sys.stderr)
-            print(
-                format_analysis_timings(ctx.analysis_timings),
-                file=sys.stderr,
-            )
-    findings = sort_findings(findings)
+    per_target: dict[str, list] = {}
+    for tname in targets:
+        config = resolve_target(tname)
+        findings = []
+        for filename, source in inputs:
+            try:
+                # The pass pipeline is run directly (not through the
+                # compile cache): static checking wants every stage to
+                # actually execute, and --time-passes wants its timings.
+                ctx = PassManager.default().run(
+                    source, config, options, filename=filename,
+                    trace=recorder,
+                )
+            except CompileError as error:
+                for diagnostic in error.diagnostics:
+                    print(diagnostic.render(), file=sys.stderr)
+                return 1
+            findings.extend(ctx.findings)
+            if args.time_passes:
+                print(f"== {tname}: {filename}", file=sys.stderr)
+                print(format_timings(ctx.timings), file=sys.stderr)
+                print(
+                    format_analysis_timings(ctx.analysis_timings),
+                    file=sys.stderr,
+                )
+        per_target[tname] = sort_findings(findings)
+    findings = sort_findings(
+        {f for fs in per_target.values() for f in fs}
+    )
 
     if args.trace:
         from repro.obs.export import chrome_trace_json
@@ -201,12 +223,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     findings, hidden = apply_baseline(findings, suppressed)
+    kept_per_target = {
+        tname: apply_baseline(fs, suppressed)[0]
+        for tname, fs in per_target.items()
+    }
     if args.format_ == "text":
         output = format_text(findings)
         if output:
             output += "\n"
     elif args.format_ == "json":
         output = format_json(findings)
+    elif args.all_targets:
+        # Portability lint: one SARIF run per target, each stamped with
+        # the target it was produced under.
+        log = sarif_report(kept_per_target[targets[0]])
+        runs = []
+        for tname in targets:
+            target_log = sarif_report(kept_per_target[tname])
+            run = target_log["runs"][0]
+            run["automationDetails"] = {"id": f"repro-check/{tname}"}
+            run["properties"] = {"target": tname}
+            runs.append(run)
+        log["runs"] = runs
+        output = json.dumps(log, sort_keys=True, indent=2) + "\n"
     else:
         output = format_sarif(findings)
     if args.out:
@@ -214,6 +253,9 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(output)
     elif output:
         sys.stdout.write(output)
+
+    if args.all_targets:
+        print(_verdict_table(kept_per_target, args.fail_on), file=sys.stderr)
 
     failing = sum(1 for f in findings if meets_threshold(f, args.fail_on))
     summary = f"-- {len(findings)} finding(s), {failing} at or above " \
@@ -225,6 +267,20 @@ def main(argv: list[str] | None = None) -> int:
         return 3
     print(summary if findings or hidden else "-- clean", file=sys.stderr)
     return 0
+
+
+def _verdict_table(
+    kept_per_target: dict[str, list], fail_on: str
+) -> str:
+    """The ``--all-targets`` per-target verdict table (stderr)."""
+    lines = [f"{'target':12s} {'errors':>6s} {'warnings':>8s}  verdict"]
+    for tname, fs in kept_per_target.items():
+        errors = sum(1 for f in fs if f.severity == SEV_ERROR)
+        warnings = sum(1 for f in fs if f.severity == SEV_WARNING)
+        failing = sum(1 for f in fs if meets_threshold(f, fail_on))
+        verdict = "FAIL" if failing else "ok"
+        lines.append(f"{tname:12s} {errors:6d} {warnings:8d}  {verdict}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

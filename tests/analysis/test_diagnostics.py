@@ -9,6 +9,7 @@ from repro.analysis.diagnostics import (
     SEV_ERROR,
     SEV_WARNING,
     Finding,
+    RelatedLocation,
     apply_baseline,
     fingerprint,
     format_json,
@@ -189,3 +190,101 @@ class TestSarif:
     def test_validator_requires_runs(self):
         assert validate_sarif({"version": "2.1.0"}) != []
         assert validate_sarif("nope") == ["top level must be an object"]
+
+
+def interprocedural():
+    return Finding(
+        code="E-dma-oob",
+        message="the outer side overruns global 'g_data'",
+        file="demo.om",
+        function="stage@0$",
+        instr_index=7,
+        analysis="dma-bounds",
+        related=(
+            RelatedLocation(
+                message="called from __offload_0",
+                file="demo.om",
+                function="__offload_0",
+                instr_index=12,
+            ),
+        ),
+    )
+
+
+class TestRelatedLocations:
+    def test_render_appends_see_lines(self):
+        text = interprocedural().render()
+        assert "  see: demo.om:__offload_0[12]: called from __offload_0" in text
+
+    def test_sarif_carries_related_locations(self):
+        log = sarif_report([interprocedural()])
+        assert validate_sarif(log) == []
+        result = log["runs"][0]["results"][0]
+        (rel,) = result["relatedLocations"]
+        assert rel["message"]["text"] == "called from __offload_0"
+        location = rel["physicalLocation"]["artifactLocation"]
+        assert location["uri"] == "demo.om"
+
+    def test_validator_catches_missing_related_message(self):
+        log = sarif_report([interprocedural()])
+        del log["runs"][0]["results"][0]["relatedLocations"][0]["message"]
+        assert any("relatedLocations" in p for p in validate_sarif(log))
+
+    def test_validator_catches_missing_related_uri(self):
+        log = sarif_report([interprocedural()])
+        rel = log["runs"][0]["results"][0]["relatedLocations"][0]
+        del rel["physicalLocation"]["artifactLocation"]["uri"]
+        assert any("relatedLocations" in p for p in validate_sarif(log))
+
+    def test_json_payload_carries_related(self):
+        payload = json.loads(format_json([interprocedural()]))
+        (entry,) = payload["findings"]
+        assert entry["related"][0]["function"] == "__offload_0"
+
+
+class TestDuplicateDeduplication:
+    def test_fingerprint_ignores_duplicate_mangles(self):
+        """A helper compiled once per offload yields `stage@0$O`,
+        `stage@1$O`, ... copies of the *same source site*; their
+        fingerprints must collide so one site is one finding."""
+
+        def at(mangle):
+            return Finding(
+                code="W-dma-unaligned",
+                message=f"dma_get in {mangle} is misaligned",
+                file="demo.om",
+                function=mangle,
+                analysis="dma-bounds",
+            )
+
+        assert fingerprint(at("stage@0$O")) == fingerprint(at("stage@1$O"))
+        # The bare `$` form (empty cache-kind signature) too.
+        assert fingerprint(at("stage@0$")) == fingerprint(at("stage@1$"))
+        # But genuinely different functions keep distinct identities.
+        assert fingerprint(at("stage@0$O")) != fingerprint(at("other@0$O"))
+
+    def test_pipeline_reports_one_finding_per_source_site(self):
+        """End-to-end: a helper called from two offload blocks is
+        compiled twice, but the analysis pipeline reports its finding
+        once."""
+        from repro.analysis.runner import run_analyses
+        from repro.compiler.driver import compile_program
+        from repro.machine.config import CELL_LIKE
+
+        source = """
+        char g_raw[64];
+        void stage() {
+            Array<char, 16> buf(&g_raw[2]);
+            buf[0] = buf[0];
+        }
+        void main() {
+            __offload { stage(); };
+            __offload { stage(); };
+        }
+        """
+        program = compile_program(source, CELL_LIKE)
+        result = run_analyses(program, CELL_LIKE)
+        unaligned = [
+            f for f in result.findings if f.code == "W-dma-unaligned"
+        ]
+        assert len(unaligned) == 1

@@ -311,6 +311,38 @@ class TestInterprocedural:
         helper_only = program_of(put_helper())
         assert "E-dma-leak" not in codes(dmacheck.check_program(helper_only))
 
+    def test_leak_through_callee_carries_related_location(self):
+        # Interprocedural diagnostics point back at the other half of
+        # the story: the leak reported at the offload boundary names
+        # the callee that issued the still-in-flight transfer.
+        caller = entry([
+            Call(callee="h", args=[]),
+            Ret(),
+        ])
+        findings = dmacheck.check_program(program_of(put_helper(), caller))
+        (leak,) = [f for f in findings if f.code == "E-dma-leak"]
+        assert leak.related
+        assert leak.related[0].function == "h"
+        assert "issued" in leak.related[0].message
+
+    def test_race_carries_related_location_of_earlier_transfer(self):
+        caller = entry([
+            FrameAddr(dst=0, offset=64),
+            GlobalAddr(dst=1, name="g_data"),
+            Const(dst=2, value=32),
+            Const(dst=3, value=2),
+            Intrinsic(name="dma_put", args=[0, 1, 2, 3]),
+            Call(callee="h", args=[]),
+            Intrinsic(name="dma_wait", args=[3]),
+            Const(dst=4, value=1),
+            Intrinsic(name="dma_wait", args=[4]),
+            Ret(),
+        ])
+        findings = dmacheck.check_program(program_of(put_helper(), caller))
+        races = [f for f in findings if f.code == "E-dma-race"]
+        assert races and races[0].related
+        assert "issued here" in races[0].related[0].message
+
 
 class TestGameCorpusQuiet:
     def test_no_dma_findings_on_existing_game_sources(self):

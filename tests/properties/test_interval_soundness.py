@@ -1,0 +1,172 @@
+"""Soundness property for the interval × congruence analysis.
+
+Hypothesis generates small arithmetic programs (straight-line code,
+``if``/``else``, nested constant-bound ``for`` loops), each compiled
+offload is run *concretely* by a tiny IR evaluator with 32-bit signed
+wrap-around, and every register value observed on entry to a basic
+block must lie inside the abstract value the analysis predicts there
+(absent registers are ⊤ — trivially sound).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import build_cfg
+from repro.analysis.intervals import AbsInt, analyze_function
+from repro.compiler.driver import compile_program
+from repro.ir.instructions import BinOp, CJump, Const, Jump, Move, Ret, UnOp
+from repro.machine.config import CELL_LIKE
+
+VARS = ("x0", "x1", "x2", "x3")
+
+_exprs = st.one_of(
+    st.integers(-100, 100).map(str),
+    st.sampled_from(VARS),
+    st.tuples(
+        st.sampled_from(VARS),
+        st.sampled_from(("+", "-", "*")),
+        st.one_of(st.integers(-9, 9).map(str), st.sampled_from(VARS)),
+    ).map(lambda t: f"{t[0]} {t[1]} {t[2]}"),
+)
+
+_assign = st.tuples(st.sampled_from(VARS), _exprs).map(
+    lambda t: ("assign", t[0], t[1])
+)
+
+_statements = st.deferred(
+    lambda: st.lists(
+        st.one_of(
+            _assign,
+            st.tuples(
+                st.sampled_from(VARS),
+                st.sampled_from(("<", "<=", "==", "!=")),
+                st.sampled_from(VARS),
+                st.lists(_assign, min_size=1, max_size=3),
+                st.lists(_assign, max_size=2),
+            ).map(lambda t: ("if", *t)),
+            st.tuples(
+                st.integers(0, 6), st.lists(_assign, min_size=1, max_size=3)
+            ).map(lambda t: ("for", *t)),
+        ),
+        max_size=6,
+    )
+)
+
+
+def _render(statements, indent, counter):
+    lines = []
+    pad = " " * indent
+    for stmt in statements:
+        if stmt[0] == "assign":
+            lines.append(f"{pad}{stmt[1]} = {stmt[2]};")
+        elif stmt[0] == "if":
+            _, a, op, b, then, orelse = stmt
+            lines.append(f"{pad}if ({a} {op} {b}) {{")
+            lines.extend(_render(then, indent + 4, counter))
+            if orelse:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_render(orelse, indent + 4, counter))
+            lines.append(f"{pad}}}")
+        else:
+            _, bound, body = stmt
+            counter[0] += 1
+            t = f"t{counter[0]}"
+            lines.append(
+                f"{pad}for (int {t} = 0; {t} < {bound}; {t} = {t} + 1) {{"
+            )
+            lines.extend(_render(body, indent + 4, counter))
+            lines.append(f"{pad}}}")
+    return lines
+
+
+def render_program(inits, statements) -> str:
+    counter = [0]
+    decls = [f"int {v} = {c};" for v, c in zip(VARS, inits)]
+    body = "\n            ".join(
+        decls + _render(statements, 0, counter)
+    )
+    return f"""
+    void main() {{
+        __offload {{
+            {body}
+        }};
+    }}
+    """
+
+
+def _wrap32(value: int) -> int:
+    return ((value + 2**31) % 2**32) - 2**31
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+
+def evaluate(function, block_starts, fuel=20000):
+    """Run the IR concretely; register snapshots at block entries."""
+    labels = function.labels
+    regs: dict[int, int] = {}
+    observed: list[tuple[int, dict[int, int]]] = []
+    pc = 0
+    while fuel > 0:
+        fuel -= 1
+        if pc in block_starts:
+            observed.append((pc, dict(regs)))
+        instr = function.code[pc]
+        if isinstance(instr, Const):
+            regs[instr.dst] = _wrap32(instr.value)
+        elif isinstance(instr, Move):
+            regs[instr.dst] = regs[instr.src]
+        elif isinstance(instr, BinOp):
+            regs[instr.dst] = _wrap32(
+                _BINOPS[instr.op](regs[instr.a], regs[instr.b])
+            )
+        elif isinstance(instr, UnOp):
+            assert instr.op == "-"
+            regs[instr.dst] = _wrap32(-regs[instr.a])
+        elif isinstance(instr, Jump):
+            pc = labels[instr.label]
+            continue
+        elif isinstance(instr, CJump):
+            pc = labels[
+                instr.then_label if regs[instr.cond] else instr.else_label
+            ]
+            continue
+        elif isinstance(instr, Ret):
+            return observed
+        else:  # pragma: no cover - generator emits no other opcodes
+            raise AssertionError(f"unexpected instruction {instr!r}")
+        pc += 1
+    raise AssertionError("evaluator ran out of fuel")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.tuples(*[st.integers(-50, 50) for _ in VARS]),
+    _statements,
+)
+def test_every_concrete_value_lies_in_its_interval(inits, statements):
+    program = compile_program(render_program(inits, statements), CELL_LIKE)
+    (entry,) = program.accel_functions()
+    cfg = build_cfg(entry)
+    solved = analyze_function(entry)
+    start_to_block = {b.start: b.index for b in cfg.blocks}
+
+    for pc, snapshot in evaluate(entry, set(start_to_block)):
+        abstract = solved.values_at(start_to_block[pc])
+        for reg, value in abstract.items():
+            if reg not in snapshot or not isinstance(value, AbsInt):
+                continue  # undefined yet / non-integer: nothing to check
+            assert value.contains(snapshot[reg]), (
+                f"r{reg} = {snapshot[reg]} escapes {value} at pc {pc}"
+            )

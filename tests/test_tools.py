@@ -329,3 +329,53 @@ class TestCheckTool:
     def test_no_sources_is_usage_error(self, capsys):
         with pytest.raises(SystemExit):
             check_tool.main([])
+
+    # --- the --all-targets portability lint
+
+    def test_all_targets_prints_verdict_table(self, source_file, capsys):
+        from repro.machine.config import target_names
+
+        status = check_tool.main([source_file(CLEAN), "--all-targets"])
+        assert status == 0
+        err = capsys.readouterr().err
+        assert "verdict" in err
+        for tname in target_names():
+            assert tname in err
+
+    def test_all_targets_failing_target_flips_verdict(
+        self, source_file, capsys
+    ):
+        # The outer-loop warning only exists on targets with a real
+        # local store; shared-memory targets stay "ok" in the same run.
+        status = check_tool.main([source_file(OUTER_LOOP), "--all-targets"])
+        assert status == 3
+        err = capsys.readouterr().err
+        table = {
+            line.split()[0]: line.split()[-1]
+            for line in err.splitlines()
+            if line and line.split()[0] in
+            ("cell", "smp", "dsp", "apu", "manycore")
+        }
+        assert table["cell"] == "FAIL"
+        assert table["smp"] == "ok"
+        assert table["apu"] == "ok"
+
+    def test_all_targets_sarif_has_one_run_per_target(
+        self, source_file, capsys
+    ):
+        from repro.analysis.diagnostics import validate_sarif
+        from repro.machine.config import target_names
+
+        status = check_tool.main(
+            [source_file(RACY), "--all-targets", "--format", "sarif"]
+        )
+        assert status == 3
+        log = json.loads(capsys.readouterr().out)
+        assert validate_sarif(log) == []
+        runs = log["runs"]
+        assert [r["automationDetails"]["id"] for r in runs] == [
+            f"repro-check/{t}" for t in target_names()
+        ]
+        assert [r["properties"]["target"] for r in runs] == list(
+            target_names()
+        )
