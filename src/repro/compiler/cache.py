@@ -53,6 +53,31 @@ if TYPE_CHECKING:
 CACHE_ENV_VAR = "REPRO_COMPILE_CACHE"
 
 
+def _publish_text(path: str, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` (concurrent-writer safe).
+
+    The write lands in a uniquely named temp file in the *destination
+    directory* (same filesystem, so the rename cannot degrade to a
+    copy) and is published with ``os.replace``.  Parallel farm workers
+    racing on one key each publish a complete file and the last rename
+    wins; a reader holding the old inode keeps a complete old entry.
+    No reader can ever observe a torn file.
+    """
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def compile_cache_key(
     source: str, config: "MachineConfig | str", options: "CompileOptions"
 ) -> str:
@@ -159,22 +184,7 @@ class CompileCache:
     def store(self, key: str, program: "IRProgram") -> None:
         """Persist ``program`` under ``key`` (atomic, last-writer-wins)."""
         text = program_to_json(program)
-        path = self.path_for(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                handle.write("\n")
-            os.replace(tmp_path, path)
-        except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        _publish_text(self.path_for(key), text + "\n")
         self._text[key] = text
         self.stats.stores += 1
 
@@ -200,21 +210,7 @@ class CompileCache:
 
     def store_text(self, key: str, text: str, kind: str) -> None:
         """Persist auxiliary text under ``key`` (atomic, like :meth:`store`)."""
-        path = self.aux_path(key, kind)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_path, path)
-        except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        _publish_text(self.aux_path(key, kind), text)
         self._aux[(key, kind)] = text
         self.stats.aux_stores += 1
 
@@ -236,7 +232,15 @@ class CompileCache:
             if not os.path.isdir(shard_dir):
                 continue
             for name in os.listdir(shard_dir):
-                if name.endswith(".json") or name.endswith(".codegen.py"):
+                # ``.tmp`` files are droppings from writers killed
+                # mid-publish (e.g. a farm worker hit by a timeout);
+                # they were never visible to readers but should not
+                # accumulate.
+                if (
+                    name.endswith(".json")
+                    or name.endswith(".codegen.py")
+                    or name.endswith(".tmp")
+                ):
                     try:
                         os.unlink(os.path.join(shard_dir, name))
                     except OSError:

@@ -86,6 +86,33 @@ METRICS: dict[str, MetricInfo] = {
     "sched.queue_high_water": MetricInfo(
         "gauge", False, "Deepest ready-queue occupancy seen over the run"
     ),
+    # The farm lane (:mod:`repro.farm`): host-level batch-execution
+    # metrics recorded by the driver, not the simulator.  They are
+    # wall-clock quantities, so they live in farm batch summaries —
+    # never in per-job RunReports, which stay byte-deterministic.
+    "farm.job_wall_ms": MetricInfo(
+        "histogram", False,
+        "Host wall-clock per completed farm job in milliseconds",
+    ),
+    "farm.queue_occupancy": MetricInfo(
+        "histogram", False,
+        "Pending farm jobs observed at each dispatch to a worker",
+    ),
+    "farm.worker_jobs": MetricInfo(
+        "gauge", True, "Jobs completed per farm worker over one batch"
+    ),
+    "farm.worker_busy_ms": MetricInfo(
+        "gauge", True,
+        "Host milliseconds each farm worker spent executing jobs",
+    ),
+    "farm.compiles": MetricInfo(
+        "gauge", False,
+        "Full compile-pipeline runs the batch paid (cold compiles)",
+    ),
+    "farm.warm_jobs": MetricInfo(
+        "gauge", False,
+        "Jobs served entirely from warm programs (zero compile/codegen)",
+    ),
 }
 
 #: Shared bucket upper bounds (inclusive), in whatever unit the family

@@ -1,0 +1,128 @@
+"""Robustness: crashes, timeouts and errors become structured failures.
+
+Every test injects a fault via :attr:`repro.farm.FarmJob.fault` and
+asserts the driver drains the whole batch — healthy jobs complete,
+faulty jobs end as :class:`repro.farm.JobFailure` with the right reason
+and attempt count, and the pool stays usable afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm import Farm, FarmJob, JobFailure, JobResult, run_jobs_serial
+from repro.game.sources import figure2_source
+
+SOURCE = figure2_source(entity_count=6, pair_count=4, frames=1)
+
+
+def healthy(workload: str = "ok", **kwargs) -> FarmJob:
+    return FarmJob(workload=workload, source=SOURCE, **kwargs)
+
+
+@pytest.fixture
+def farm():
+    with Farm(workers=2, timeout=60.0, max_attempts=2) as pool:
+        yield pool
+
+
+class TestCrashes:
+    def test_crash_exhausts_retries_then_fails(self, farm):
+        jobs = [healthy(), healthy("ok2"), healthy("boom", fault="crash")]
+        summary = farm.run_batch(jobs)
+        assert summary.ok == 2
+        assert summary.failed == 1
+        failure = summary.failures[0]
+        assert failure.reason == "crash"
+        assert failure.attempts == 2
+        assert failure.job.workload == "boom"
+        assert summary.retried >= 1
+
+    def test_crash_once_retries_then_succeeds(self, farm, tmp_path):
+        marker = str(tmp_path / "crashed.marker")
+        jobs = [healthy(), healthy("flaky", fault=f"crash-once:{marker}")]
+        summary = farm.run_batch(jobs)
+        assert summary.failed == 0
+        flaky = next(r for r in summary.results if r.job.workload == "flaky")
+        assert isinstance(flaky, JobResult)
+        assert flaky.attempts == 2
+        assert summary.retried == 1
+
+    def test_pool_survives_a_crash_batch(self, farm):
+        farm.run_batch([healthy("boom", fault="crash")])
+        summary = farm.run_batch([healthy(), healthy("ok2")])
+        assert summary.ok == 2
+        assert summary.failed == 0
+
+
+class TestTimeouts:
+    def test_wedged_worker_is_killed_and_job_failed(self):
+        with Farm(workers=2, timeout=0.5, max_attempts=1) as farm:
+            jobs = [healthy(), healthy("wedge", fault="sleep:30")]
+            summary = farm.run_batch(jobs)
+        assert summary.ok == 1
+        failure = summary.failures[0]
+        assert failure.reason == "timeout"
+        assert failure.attempts == 1
+        assert failure.job.workload == "wedge"
+
+    def test_per_job_timeout_overrides_farm_default(self):
+        with Farm(workers=1, timeout=0.2, max_attempts=1) as farm:
+            # The job-level budget (generous) overrides the farm's
+            # aggressive default, so a short sleep still succeeds.
+            summary = farm.run_batch(
+                [healthy("slowish", fault="sleep:0.5", timeout=30.0)]
+            )
+        assert summary.ok == 1
+
+
+class TestErrors:
+    def test_compile_error_is_not_retried(self, farm):
+        jobs = [
+            healthy(),
+            FarmJob(workload="bad", source="this is not a program"),
+        ]
+        summary = farm.run_batch(jobs)
+        assert summary.ok == 1
+        failure = summary.failures[0]
+        assert failure.reason == "error"
+        assert failure.attempts == 1
+        assert summary.retried == 0
+        assert failure.detail  # carries the exception text
+
+    def test_serial_runner_raises_on_error(self):
+        with pytest.raises(Exception):
+            run_jobs_serial(
+                [FarmJob(workload="bad", source="this is not a program")]
+            )
+
+    def test_failure_record_shape(self, farm):
+        summary = farm.run_batch(
+            [FarmJob(workload="bad", source="not a program")]
+        )
+        record = summary.failures[0].as_dict()
+        assert record["status"] == "failed"
+        assert record["reason"] == "error"
+        assert record["workload"] == "bad"
+        assert "report" not in record
+
+
+class TestSummaryShape:
+    def test_failures_listed_in_results(self, farm):
+        jobs = [healthy(), healthy("boom", fault="crash")]
+        summary = farm.run_batch(jobs)
+        assert len(summary.results) == 2
+        assert isinstance(summary.results[0], JobResult)
+        assert isinstance(summary.results[1], JobFailure)
+
+    def test_streaming_callback_sees_everything(self, farm):
+        seen = []
+        jobs = [healthy(), healthy("boom", fault="crash")]
+        farm.run_batch(jobs, on_result=seen.append)
+        assert {r.status for r in seen} == {"ok", "failed"}
+
+    def test_farm_validates_construction(self):
+        with pytest.raises(ValueError, match="workers"):
+            Farm(workers=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            Farm(max_attempts=0)
